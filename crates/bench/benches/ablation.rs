@@ -1,0 +1,90 @@
+//! Ablation studies for the engine's design choices (see DESIGN.md):
+//!
+//! * **Abstract vs brute-force enabledness** for refinement-mapped
+//!   fairness: the mapped-guard predicate (`fairness_enabled_expr`,
+//!   the semantically correct choice) against the brute-force
+//!   next-state search over the domain product (which is both wrong
+//!   under substitution *and* slower — this bench quantifies the
+//!   "slower" half).
+//! * **Pinned vs filtered initial states**: `Init`'s fixed-assignment
+//!   representation enumerates only the free variables' domains; the
+//!   ablation moves the same constraints into a filtering predicate
+//!   over the full product.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opentla_bench::explore_all;
+use opentla_check::{explore, ExploreOptions, Init, System};
+use opentla_kernel::Expr;
+use opentla_queue::{DoubleQueue, FairnessStyle};
+
+fn bench_enabledness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_enabled");
+    group.sample_size(10);
+
+    let w = DoubleQueue::new(1, 2, FairnessStyle::Joint);
+    let cdq = w.cdq_system().unwrap();
+    let graph = explore_all(&cdq);
+    let mapping = w.refinement_mapping();
+    let mapped_fair = {
+        use opentla_kernel::Formula;
+        let fair = Formula::Fair(w.big_queue().fairness_condition(0));
+        match mapping.formula(&fair).unwrap() {
+            Formula::Fair(f) => f,
+            _ => unreachable!(),
+        }
+    };
+    let hint = mapping
+        .expr(&w.big_queue().fairness_enabled_expr(0))
+        .unwrap();
+
+    group.bench_function("abstract_enabled_vector", |b| {
+        b.iter(|| {
+            graph
+                .states()
+                .iter()
+                .filter(|s| hint.holds_state(s).unwrap())
+                .count()
+        })
+    });
+    group.bench_function("bruteforce_enabled_vector", |b| {
+        let angle = mapped_fair.angle_action();
+        b.iter(|| {
+            graph
+                .states()
+                .iter()
+                .filter(|s| cdq.universe().enabled(&angle, s).unwrap())
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_init_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_init");
+    group.sample_size(10);
+
+    let w = DoubleQueue::new(1, 2, FairnessStyle::Joint);
+    let cdq = w.cdq_system().unwrap();
+
+    group.bench_function("pinned_assignments", |b| {
+        b.iter(|| explore(&cdq, &ExploreOptions::default()).unwrap().len())
+    });
+
+    // The same initial condition as a filtering predicate over the full
+    // domain product: every previously-pinned variable becomes free,
+    // constrained by the equivalent predicate.
+    let filtered = {
+        let pred: Expr = cdq.init().as_pred();
+        let init = Init::new([]).with_constraint(pred);
+        System::new(cdq.vars().clone(), init, cdq.actions().to_vec())
+    };
+    group.bench_function("filtered_product", |b| {
+        b.iter(|| explore(&filtered, &ExploreOptions::default()).unwrap().len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_enabledness, bench_init_representation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 1: the circular assumption/guarantee examples.
+//!
+//! Benchmarks the full Composition Theorem application on the safety
+//! instance, the realization check of `Π_c`, and the liveness
+//! counterexample search for the `M¹` instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opentla::{
+    chaos_environment, check_ag_safety, closed_product, compose, CompositionOptions,
+    CompositionProblem,
+};
+use opentla_bench::explore_all;
+use opentla_check::{check_liveness, LiveTarget};
+use opentla_kernel::{Expr, Substitution};
+use opentla_scenarios::Fig1;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+
+    group.bench_function("compose_safety", |b| {
+        let w = Fig1::new();
+        let ag_c = w.ag_c().unwrap();
+        let ag_d = w.ag_d().unwrap();
+        let target = w.safety_target().unwrap();
+        b.iter(|| {
+            let problem = CompositionProblem {
+                vars: w.vars(),
+                components: vec![&ag_c, &ag_d],
+                target: &target,
+                mapping: Substitution::default(),
+            };
+            let cert = compose(&problem, &CompositionOptions::default()).unwrap();
+            assert!(cert.holds());
+            cert.obligations.len()
+        })
+    });
+
+    group.bench_function("realization_pi_c", |b| {
+        let w = Fig1::new();
+        let chaos = chaos_environment("chaos_d", w.vars(), &[w.d()]);
+        let sys = closed_product(w.vars(), &[&w.pi_c(), &chaos]).unwrap();
+        let graph = explore_all(&sys);
+        let e = w.m0_d().safety_formula();
+        let m = w.m0_c().safety_formula();
+        b.iter(|| {
+            let verdict = check_ag_safety(&sys, &graph, &e, &m).unwrap();
+            assert!(verdict.holds());
+        })
+    });
+
+    group.bench_function("liveness_counterexample", |b| {
+        let w = Fig1::new();
+        let sys = closed_product(w.vars(), &[&w.pi_c(), &w.pi_d()]).unwrap();
+        let graph = explore_all(&sys);
+        let target = LiveTarget::Eventually(Expr::var(w.c()).eq(Expr::int(1)));
+        b.iter(|| {
+            let verdict = check_liveness(&sys, &graph, &target).unwrap();
+            assert!(!verdict.holds());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

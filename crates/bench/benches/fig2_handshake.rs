@@ -1,0 +1,40 @@
+//! Figure 2: the two-phase handshake protocol.
+//!
+//! Benchmarks trace regeneration (the paper's table, scaled to longer
+//! value sequences) and channel state-space exploration as the value
+//! domain grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opentla_bench::{explore_all, handshake_system};
+use opentla_queue::handshake_trace;
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+
+    for len in [3usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("trace", len), &len, |b, &len| {
+            let values: Vec<i64> = (0..len as i64).map(|i| i % 7).collect();
+            b.iter(|| {
+                let rows = handshake_trace(&values);
+                assert_eq!(rows.len(), 2 * len);
+                rows.len()
+            })
+        });
+    }
+
+    for vals in [2i64, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("explore", vals), &vals, |b, &vals| {
+            b.iter(|| {
+                let (_, _, sys) = handshake_system(vals).unwrap();
+                let graph = explore_all(&sys);
+                assert_eq!(graph.len(), (4 * vals) as usize);
+                graph.len()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_handshake);
+criterion_main!(benches);

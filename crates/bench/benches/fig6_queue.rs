@@ -1,0 +1,58 @@
+//! Figures 3–6: the complete single-queue system `CQ`.
+//!
+//! Benchmarks state-space exploration, the capacity invariant, and the
+//! pending-input-is-served liveness property across the (N, |V|) grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opentla_bench::explore_all;
+use opentla_check::{check_invariant, check_liveness, LiveTarget};
+use opentla_queue::{FairnessStyle, SingleQueue};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+
+    for (n, v) in [(1usize, 2i64), (2, 2), (3, 2), (2, 3)] {
+        let id = format!("N{n}_V{v}");
+        group.bench_with_input(
+            BenchmarkId::new("explore", &id),
+            &(n, v),
+            |b, &(n, v)| {
+                let world = SingleQueue::new(n, v, FairnessStyle::Joint);
+                let sys = world.complete_system().unwrap();
+                b.iter(|| explore_all(&sys).len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("capacity_invariant", &id),
+            &(n, v),
+            |b, &(n, v)| {
+                let world = SingleQueue::new(n, v, FairnessStyle::Joint);
+                let sys = world.complete_system().unwrap();
+                let graph = explore_all(&sys);
+                let inv = world.capacity_invariant();
+                b.iter(|| {
+                    assert!(check_invariant(&sys, &graph, &inv).unwrap().holds());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("input_served", &id),
+            &(n, v),
+            |b, &(n, v)| {
+                let world = SingleQueue::new(n, v, FairnessStyle::Joint);
+                let sys = world.complete_system().unwrap();
+                let graph = explore_all(&sys);
+                let (p, q) = world.input_served();
+                let target = LiveTarget::LeadsTo(p, q);
+                b.iter(|| {
+                    assert!(check_liveness(&sys, &graph, &target).unwrap().holds());
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figures 7–8: the double queue `CDQ` and the complete-system
+//! refinement `CDQ ⇒ CQ[dbl]` (Section A.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opentla_bench::explore_all;
+use opentla_check::ExploreOptions;
+use opentla_queue::{DoubleQueue, FairnessStyle};
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+
+    for (n, v) in [(1usize, 2i64), (2, 2)] {
+        let id = format!("N{n}_V{v}");
+        group.bench_with_input(BenchmarkId::new("explore_cdq", &id), &(n, v), |b, &(n, v)| {
+            let w = DoubleQueue::new(n, v, FairnessStyle::Joint);
+            let sys = w.cdq_system().unwrap();
+            b.iter(|| explore_all(&sys).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("refinement", &id),
+            &(n, v),
+            |b, &(n, v)| {
+                let w = DoubleQueue::new(n, v, FairnessStyle::Joint);
+                b.iter(|| {
+                    let report =
+                        w.prove_refinement(&ExploreOptions::default()).unwrap();
+                    assert!(report.holds());
+                    report.simulation.states
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 9 / Section A.5: the Composition Theorem proof of
+//! `G ∧ (QE[1] ⊳ QM[1]) ∧ (QE[2] ⊳ QM[2]) ⇒ (QE[dbl] ⊳ QM[dbl])`,
+//! plus the k-queue chain scaling study and the mutex scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opentla::CompositionOptions;
+use opentla_queue::{DoubleQueue, FairnessStyle, QueueChain};
+use opentla_scenarios::{ArbiterFairness, Mutex};
+
+fn bench_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+
+    for (n, v) in [(1usize, 2i64), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("double_queue", format!("N{n}_V{v}")),
+            &(n, v),
+            |b, &(n, v)| {
+                let w = DoubleQueue::new(n, v, FairnessStyle::Joint);
+                b.iter(|| {
+                    let cert = w.prove_composition(&CompositionOptions::default()).unwrap();
+                    assert!(cert.holds());
+                    cert.product_states
+                })
+            },
+        );
+    }
+
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("chain", k), &k, |b, &k| {
+            let chain = QueueChain::new(k, 1, 2, FairnessStyle::Joint);
+            b.iter(|| {
+                let cert = chain
+                    .prove_composition(&CompositionOptions::default())
+                    .unwrap();
+                assert!(cert.holds());
+                cert.product_states
+            })
+        });
+    }
+
+    group.bench_function("mutex_strong", |b| {
+        let w = Mutex::new(ArbiterFairness::Strong);
+        b.iter(|| {
+            let cert = w.prove(&CompositionOptions::default()).unwrap();
+            assert!(cert.holds());
+            cert.product_states
+        })
+    });
+    group.bench_function("mutex_weak_counterexample", |b| {
+        let w = Mutex::new(ArbiterFairness::Weak);
+        b.iter(|| {
+            let cert = w.prove(&CompositionOptions::default()).unwrap();
+            assert!(!cert.holds());
+            cert.product_states
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

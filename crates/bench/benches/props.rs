@@ -1,0 +1,79 @@
+//! Propositions 1–4 and the semantic operators: evaluation throughput
+//! of `⊳`, `C`, `⊥`, and `+v` on lasso behaviors, plus the exhaustive
+//! validity sweep behind the Proposition 3 soundness check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opentla::proposition_3_reduction;
+use opentla_kernel::{Domain, Expr, Formula, Vars};
+use opentla_semantics::{all_lassos, eval, random_lasso, EvalCtx, Universe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world() -> (Universe, Formula, Formula) {
+    let mut vars = Vars::new();
+    let x = vars.declare("x", Domain::bits());
+    let y = vars.declare("y", Domain::bits());
+    let e = Formula::pred(Expr::var(y).eq(Expr::int(0)))
+        .and(Formula::act_box(Expr::bool(false), vec![y]));
+    let m = Formula::pred(Expr::var(x).eq(Expr::int(0)))
+        .and(Formula::act_box(Expr::bool(false), vec![x]));
+    (Universe::new(vars), e, m)
+}
+
+fn bench_props(c: &mut Criterion) {
+    let mut group = c.benchmark_group("props");
+
+    let (universe, e, m) = world();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let lassos: Vec<_> = (0..256)
+        .map(|_| random_lasso(&universe, 6, &mut rng))
+        .collect();
+    let ctx = EvalCtx::default();
+
+    for (name, formula) in [
+        ("while_plus", e.clone().while_plus(m.clone())),
+        ("closure", e.clone().closure()),
+        ("ortho", e.clone().ortho(m.clone())),
+        (
+            "plus",
+            e.clone().plus(vec![universe.vars().find("x").unwrap()]),
+        ),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("eval_256_lassos", name),
+            &formula,
+            |b, f| {
+                b.iter(|| {
+                    lassos
+                        .iter()
+                        .filter(|s| eval(f, s, &ctx).unwrap())
+                        .count()
+                })
+            },
+        );
+    }
+
+    group.bench_function("prop3_validity_sweep", |b| {
+        let (universe, e, m) = world();
+        let x = universe.vars().find("x").unwrap();
+        let r = Formula::pred(Expr::var(x).eq(Expr::int(0)));
+        let red = proposition_3_reduction(e, r, m, vec![x]);
+        let lassos = all_lassos(&universe, 3);
+        let ctx = EvalCtx::default();
+        b.iter(|| {
+            lassos
+                .iter()
+                .filter(|s| {
+                    eval(&red.implication, s, &ctx).unwrap()
+                        && eval(&red.orthogonality, s, &ctx).unwrap()
+                        && eval(&red.conclusion, s, &ctx).unwrap()
+                })
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_props);
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Regenerates every figure of *Open Systems in TLA* and prints the
+//! measurements recorded in `EXPERIMENTS.md`.
+//!
+//! Run with `cargo run --release -p opentla-bench --bin experiments`.
+
+use opentla::{
+    chaos_environment, check_ag_safety, closed_product, compose, CompositionOptions,
+    CompositionProblem,
+};
+use opentla_bench::{explore_all, handshake_system, ms, row};
+use opentla_check::{check_invariant, check_liveness, ExploreOptions, LiveTarget};
+use opentla_kernel::{Expr, Substitution};
+use opentla_queue::{handshake_trace, DoubleQueue, FairnessStyle, QueueChain, SingleQueue};
+use opentla_scenarios::{AlternatingBit, ArbiterFairness, ClockWorld, Fig1, Mutex, TokenRing};
+use std::time::Instant;
+
+fn main() {
+    fig1();
+    fig2();
+    fig6();
+    fig8();
+    fig9();
+    chain();
+    mutex();
+    clock();
+    ring();
+    abp();
+}
+
+fn heading(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn fig1() {
+    heading("F1a/F1b — Figure 1, circular composition");
+    let w = Fig1::new();
+    println!("| check | verdict | states | time |");
+    println!("|---|---|---|---|");
+
+    let t = Instant::now();
+    let ag_c = w.ag_c().unwrap();
+    let ag_d = w.ag_d().unwrap();
+    let target = w.safety_target().unwrap();
+    let problem = CompositionProblem {
+        vars: w.vars(),
+        components: vec![&ag_c, &ag_d],
+        target: &target,
+        mapping: Substitution::default(),
+    };
+    let cert = compose(&problem, &CompositionOptions::default()).unwrap();
+    println!(
+        "{}",
+        row(&[
+            "compose (M⁰ circular safety)".into(),
+            verdict(cert.holds()),
+            cert.product_states.to_string(),
+            ms(t.elapsed()),
+        ])
+    );
+
+    let t = Instant::now();
+    let chaos = chaos_environment("chaos_d", w.vars(), &[w.d()]);
+    let sys = closed_product(w.vars(), &[&w.pi_c(), &chaos]).unwrap();
+    let graph = explore_all(&sys);
+    let v = check_ag_safety(
+        &sys,
+        &graph,
+        &w.m0_d().safety_formula(),
+        &w.m0_c().safety_formula(),
+    )
+    .unwrap();
+    println!(
+        "{}",
+        row(&[
+            "Π_c realizes M⁰_d ⊳ M⁰_c (chaos env)".into(),
+            verdict(v.holds()),
+            graph.len().to_string(),
+            ms(t.elapsed()),
+        ])
+    );
+
+    let t = Instant::now();
+    let sys = closed_product(w.vars(), &[&w.pi_c(), &w.pi_d()]).unwrap();
+    let graph = explore_all(&sys);
+    let v = check_liveness(
+        &sys,
+        &graph,
+        &LiveTarget::Eventually(Expr::var(w.c()).eq(Expr::int(1))),
+    )
+    .unwrap();
+    println!(
+        "{}",
+        row(&[
+            "Π_c ∥ Π_d ⊨ ◇(c=1) (M¹ liveness)".into(),
+            verdict(v.holds()),
+            graph.len().to_string(),
+            ms(t.elapsed()),
+        ])
+    );
+}
+
+fn fig2() {
+    heading("F2 — the two-phase handshake protocol");
+    println!("replayed table for sends 37, 4, 19 (paper's Figure 2):\n");
+    println!("| step | ack | sig | val |");
+    println!("|---|---|---|---|");
+    for r in handshake_trace(&[37, 4, 19]) {
+        println!(
+            "{}",
+            row(&[
+                r.label.clone(),
+                r.ack.to_string(),
+                r.sig.to_string(),
+                r.val.map_or("–".into(), |v| v.to_string()),
+            ])
+        );
+    }
+    println!("\nchannel state space:\n");
+    println!("| |V| | states | transitions | time |");
+    println!("|---|---|---|---|");
+    for vals in [2i64, 4, 8, 16] {
+        let t = Instant::now();
+        let (_, _, sys) = handshake_system(vals).unwrap();
+        let graph = explore_all(&sys);
+        println!(
+            "{}",
+            row(&[
+                vals.to_string(),
+                graph.len().to_string(),
+                graph.edge_count().to_string(),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn fig6() {
+    heading("F3–F6 — the complete queue system CQ(N, V)");
+    println!("| N | |V| | states | transitions | |q|≤N | discipline | input served | time |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for (n, v) in [(1usize, 2i64), (2, 2), (3, 2), (2, 3), (1, 4)] {
+        let t = Instant::now();
+        let world = SingleQueue::new(n, v, FairnessStyle::Joint);
+        let sys = world.complete_system().unwrap();
+        let graph = explore_all(&sys);
+        let cap = check_invariant(&sys, &graph, &world.capacity_invariant())
+            .unwrap()
+            .holds();
+        let disc = check_invariant(&sys, &graph, &world.output_discipline())
+            .unwrap()
+            .holds();
+        let (p, q) = world.input_served();
+        let served = check_liveness(&sys, &graph, &LiveTarget::LeadsTo(p, q))
+            .unwrap()
+            .holds();
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                v.to_string(),
+                graph.len().to_string(),
+                graph.edge_count().to_string(),
+                verdict(cap),
+                verdict(disc),
+                verdict(served),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn fig8() {
+    heading("F7/F8 — CDQ ⇒ CQ[dbl] (complete-system refinement, §A.4)");
+    println!("| N | |V| | CDQ states | edges checked | safety | liveness | time |");
+    println!("|---|---|---|---|---|---|---|");
+    for (n, v) in [(1usize, 2i64), (1, 3), (2, 2)] {
+        let t = Instant::now();
+        let w = DoubleQueue::new(n, v, FairnessStyle::Joint);
+        let report = w.prove_refinement(&ExploreOptions::default()).unwrap();
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                v.to_string(),
+                report.simulation.states.to_string(),
+                report.simulation.edges.to_string(),
+                verdict(report.simulation.holds()),
+                verdict(report.liveness.iter().all(|(_, v)| v.holds())),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn fig9() {
+    heading("F9 — the Composition Theorem proof of (4), §A.5");
+    println!("| N | |V| | product states | obligations | verdict | time |");
+    println!("|---|---|---|---|---|---|");
+    for (n, v) in [(1usize, 2i64), (1, 3), (2, 2)] {
+        let t = Instant::now();
+        let w = DoubleQueue::new(n, v, FairnessStyle::Joint);
+        let cert = w.prove_composition(&CompositionOptions::default()).unwrap();
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                v.to_string(),
+                cert.product_states.to_string(),
+                cert.obligations.len().to_string(),
+                verdict(cert.holds()),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+    println!("\nobligations of the N=1, |V|=2 instance (the Figure 9 steps):\n");
+    let w = DoubleQueue::new(1, 2, FairnessStyle::Joint);
+    let cert = w.prove_composition(&CompositionOptions::default()).unwrap();
+    println!("```");
+    print!("{}", cert.display(w.vars()));
+    println!("```");
+}
+
+fn chain() {
+    heading("X1 — k queues in series (extension)");
+    println!("| k | big capacity | product states | obligations | verdict | time |");
+    println!("|---|---|---|---|---|---|");
+    for k in [1usize, 2, 3] {
+        let t = Instant::now();
+        let chain = QueueChain::new(k, 1, 2, FairnessStyle::Joint);
+        let cert = chain
+            .prove_composition(&CompositionOptions::default())
+            .unwrap();
+        println!(
+            "{}",
+            row(&[
+                k.to_string(),
+                chain.big_capacity().to_string(),
+                cert.product_states.to_string(),
+                cert.obligations.len().to_string(),
+                verdict(cert.holds()),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn mutex() {
+    heading("X2 — mutex arbiter (extension): WF vs SF, k clients");
+    println!("| clients | arbiter fairness | composition | mutual exclusion | r1 ↝ g1 | time |");
+    println!("|---|---|---|---|---|---|");
+    for (k, fairness) in [
+        (2, ArbiterFairness::Weak),
+        (2, ArbiterFairness::Strong),
+        (3, ArbiterFairness::Weak),
+        (3, ArbiterFairness::Strong),
+    ] {
+        let t = Instant::now();
+        let w = Mutex::with_clients(k, fairness);
+        let cert = w.prove(&CompositionOptions::default()).unwrap();
+        let sys = w.product().unwrap();
+        let graph = explore_all(&sys);
+        let mutex_ok = check_invariant(&sys, &graph, &w.mutual_exclusion())
+            .unwrap()
+            .holds();
+        let (p, q) = w.request_served(1);
+        let served = check_liveness(&sys, &graph, &LiveTarget::LeadsTo(p, q))
+            .unwrap()
+            .holds();
+        println!(
+            "{}",
+            row(&[
+                k.to_string(),
+                format!("{fairness:?}"),
+                verdict(cert.holds()),
+                verdict(mutex_ok),
+                verdict(served),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn clock() {
+    heading("X3 — law of nature (§2.3): timestamping under a monotonic clock");
+    println!("| stampers | horizon | composition | bounded by now | product states | time |");
+    println!("|---|---|---|---|---|---|");
+    for (stampers, horizon) in [(1usize, 3i64), (2, 3), (2, 5)] {
+        let t = Instant::now();
+        let w = ClockWorld::new(stampers, horizon);
+        let cert = w.prove(&CompositionOptions::default()).unwrap();
+        let sys = w.product().unwrap();
+        let graph = explore_all(&sys);
+        let bounded = check_invariant(&sys, &graph, &w.bounded_by_now())
+            .unwrap()
+            .holds();
+        println!(
+            "{}",
+            row(&[
+                stampers.to_string(),
+                horizon.to_string(),
+                verdict(cert.holds()),
+                verdict(bounded),
+                cert.product_states.to_string(),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn ring() {
+    heading("X4 — token ring (extension): the k-cycle of assumptions");
+    println!("| nodes | composition (mutex) | token conservation | circulation □◇crit | states | time |");
+    println!("|---|---|---|---|---|---|");
+    for k in [2usize, 3, 4] {
+        let t = Instant::now();
+        let w = TokenRing::new(k);
+        let cert = w.prove_mutex(&CompositionOptions::default()).unwrap();
+        let sys = w.complete_system().unwrap();
+        let graph = explore_all(&sys);
+        let conserved = check_invariant(&sys, &graph, &w.token_conservation())
+            .unwrap()
+            .holds();
+        let circulates = (0..k).all(|i| {
+            check_liveness(
+                &sys,
+                &graph,
+                &LiveTarget::AlwaysEventually(
+                    Expr::var(w.crit(i)).eq(Expr::int(1)),
+                ),
+            )
+            .unwrap()
+            .holds()
+        });
+        println!(
+            "{}",
+            row(&[
+                k.to_string(),
+                verdict(cert.holds()),
+                verdict(conserved),
+                verdict(circulates),
+                graph.len().to_string(),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn abp() {
+    heading("X5 — alternating-bit protocol (extension)");
+    println!("| messages | composition (reliable channel) | in-order | counting | ◇ all delivered | states | time |");
+    println!("|---|---|---|---|---|---|---|");
+    for k in [1i64, 2, 4] {
+        let t = Instant::now();
+        let w = AlternatingBit::new(k);
+        let cert = w.prove(&CompositionOptions::default()).unwrap();
+        let sys = w.complete_system().unwrap();
+        let graph = explore_all(&sys);
+        let in_order = check_invariant(&sys, &graph, &w.in_order_invariant())
+            .unwrap()
+            .holds();
+        let counting = check_invariant(&sys, &graph, &w.counting_invariant())
+            .unwrap()
+            .holds();
+        let done = Expr::var(w.recv()).eq(Expr::int(k));
+        let delivered = check_liveness(&sys, &graph, &LiveTarget::Eventually(done))
+            .unwrap()
+            .holds();
+        println!(
+            "{}",
+            row(&[
+                k.to_string(),
+                verdict(cert.holds()),
+                verdict(in_order),
+                verdict(counting),
+                verdict(delivered),
+                graph.len().to_string(),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+}
+
+fn verdict(ok: bool) -> String {
+    if ok { "PROVED" } else { "FAILS" }.to_string()
+}

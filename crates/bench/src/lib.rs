@@ -1,0 +1,86 @@
+//! Shared workload builders for the benchmark suite and the
+//! `experiments` binary that regenerates the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use opentla::{closed_product, ComponentSpec, SpecError};
+use opentla_check::{explore, ExploreOptions, GuardedAction, Init, StateGraph, System};
+use opentla_kernel::{Domain, Vars};
+use opentla_queue::Channel;
+
+/// A two-party handshake world: a sender putting arbitrary values on a
+/// channel and a receiver acknowledging them — the complete system
+/// behind Figure 2's protocol table.
+///
+/// # Errors
+///
+/// Never fails for well-formed parameters; the `Result` propagates the
+/// generic builder contract.
+pub fn handshake_system(num_values: i64) -> Result<(Vars, Channel, System), SpecError> {
+    let mut vars = Vars::new();
+    let values = Domain::int_range(0, num_values - 1);
+    let c = Channel::declare(&mut vars, "c", &values);
+    let sender = {
+        let puts = GuardedAction::family("Send", values.values().to_vec(), |v| {
+            (c.ready_to_send(), c.send_updates(v))
+        });
+        ComponentSpec::builder("sender")
+            .outputs([c.sig, c.val])
+            .inputs([c.ack])
+            .init(Init::new([(c.sig, opentla_kernel::Value::Int(0))]))
+            .actions(puts)
+            .build()?
+    };
+    let receiver = ComponentSpec::builder("receiver")
+        .outputs([c.ack])
+        .inputs([c.sig, c.val])
+        .init(Init::new([(c.ack, opentla_kernel::Value::Int(0))]))
+        .action(GuardedAction::new(
+            "Ack",
+            c.ready_to_ack(),
+            c.ack_updates(),
+        ))
+        .build()?;
+    let system = closed_product(&vars, &[&sender, &receiver])?;
+    Ok((vars, c, system))
+}
+
+/// Explores a system with default options, panicking on engine errors
+/// (benchmark-grade convenience).
+///
+/// # Panics
+///
+/// Panics if exploration fails.
+pub fn explore_all(system: &System) -> StateGraph {
+    explore(system, &ExploreOptions::default()).expect("exploration succeeds")
+}
+
+/// Formats a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Milliseconds, pretty.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_system_explores() {
+        let (_, _, sys) = handshake_system(2).unwrap();
+        let graph = explore_all(&sys);
+        // sig, ack ∈ {0,1}², val ∈ {0,1}: all 8 combinations reachable
+        // (val is initially free).
+        assert_eq!(graph.len(), 8);
+    }
+
+    #[test]
+    fn row_formats() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

@@ -1,0 +1,168 @@
+//! Counterexample traces.
+
+use opentla_kernel::{State, Vars};
+use opentla_semantics::Lasso;
+use std::fmt;
+
+/// A counterexample: a finite trace, optionally closed into a lasso.
+///
+/// Safety violations are finite traces (`loop_start == None`); liveness
+/// violations are fair lassos (`loop_start == Some(l)`). Either way the
+/// counterexample converts into a semantic [`Lasso`] via
+/// [`Counterexample::to_lasso`] (finite traces are extended by
+/// stuttering), so it can be re-validated against the trace semantics
+/// of `opentla-semantics`.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    reason: String,
+    states: Vec<State>,
+    actions: Vec<Option<String>>,
+    loop_start: Option<usize>,
+}
+
+impl Counterexample {
+    /// Builds a counterexample.
+    ///
+    /// `actions[i]` names the action that produced `states[i]`
+    /// (`None` for initial states and stutters), so `actions` and
+    /// `states` have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty, lengths differ, or `loop_start` is
+    /// out of range.
+    pub fn new(
+        reason: impl Into<String>,
+        states: Vec<State>,
+        actions: Vec<Option<String>>,
+        loop_start: Option<usize>,
+    ) -> Self {
+        assert!(!states.is_empty(), "counterexample must have states");
+        assert_eq!(states.len(), actions.len(), "one action label per state");
+        if let Some(l) = loop_start {
+            assert!(l < states.len(), "loop start {l} out of range");
+        }
+        Counterexample {
+            reason: reason.into(),
+            states,
+            actions,
+            loop_start,
+        }
+    }
+
+    /// Why this trace is a counterexample.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// The states of the trace.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The action labels (parallel to [`Counterexample::states`]).
+    pub fn actions(&self) -> &[Option<String>] {
+        &self.actions
+    }
+
+    /// Where the lasso loops back to, if this is a lasso.
+    pub fn loop_start(&self) -> Option<usize> {
+        self.loop_start
+    }
+
+    /// The counterexample as an infinite behavior: the lasso itself, or
+    /// the finite trace extended by stuttering.
+    pub fn to_lasso(&self) -> Lasso {
+        match self.loop_start {
+            Some(l) => Lasso::new(self.states.clone(), l).expect("validated"),
+            None => Lasso::stutter_extend(self.states.clone()).expect("validated"),
+        }
+    }
+
+    /// Renders the trace with variable names.
+    pub fn display<'a>(&'a self, vars: &'a Vars) -> CounterexampleDisplay<'a> {
+        CounterexampleDisplay { cx: self, vars }
+    }
+}
+
+/// Helper returned by [`Counterexample::display`].
+#[derive(Clone, Copy)]
+pub struct CounterexampleDisplay<'a> {
+    cx: &'a Counterexample,
+    vars: &'a Vars,
+}
+
+impl fmt::Display for CounterexampleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample: {}", self.cx.reason)?;
+        for (i, (s, a)) in self.cx.states.iter().zip(&self.cx.actions).enumerate() {
+            if self.cx.loop_start == Some(i) {
+                writeln!(f, "  ┌─ loop")?;
+            }
+            let label = a.as_deref().unwrap_or("(init)");
+            writeln!(f, "  {i:3} [{label}] {}", s.display(self.vars))?;
+        }
+        if let Some(l) = self.cx.loop_start {
+            writeln!(f, "  └─ back to state {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opentla_kernel::{Domain, Value};
+
+    fn st(i: i64) -> State {
+        State::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn finite_trace_stutter_extends() {
+        let cx = Counterexample::new(
+            "invariant violated",
+            vec![st(0), st(1)],
+            vec![None, Some("incr".into())],
+            None,
+        );
+        let lasso = cx.to_lasso();
+        assert_eq!(lasso.state(0), &st(0));
+        assert_eq!(lasso.state(5), &st(1));
+    }
+
+    #[test]
+    fn lasso_trace_loops() {
+        let cx = Counterexample::new(
+            "liveness violated",
+            vec![st(0), st(1), st(2)],
+            vec![None, Some("a".into()), Some("b".into())],
+            Some(1),
+        );
+        let lasso = cx.to_lasso();
+        assert_eq!(lasso.loop_start(), 1);
+        assert_eq!(lasso.state(3), &st(1));
+    }
+
+    #[test]
+    fn display_shows_loop() {
+        let mut vars = Vars::new();
+        vars.declare("x", Domain::int_range(0, 3));
+        let cx = Counterexample::new(
+            "x stuck",
+            vec![st(0), st(1)],
+            vec![None, Some("incr".into())],
+            Some(1),
+        );
+        let text = cx.display(&vars).to_string();
+        assert!(text.contains("x stuck"));
+        assert!(text.contains("loop"));
+        assert!(text.contains("incr"));
+    }
+
+    #[test]
+    #[should_panic(expected = "states")]
+    fn empty_rejected() {
+        let _ = Counterexample::new("bad", vec![], vec![], None);
+    }
+}

@@ -1,0 +1,390 @@
+//! Breadth-first state-space exploration.
+
+use crate::{CheckError, System};
+use opentla_kernel::State;
+use std::collections::HashMap;
+
+/// Options controlling exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Abort with [`CheckError::TooManyStates`] beyond this many
+    /// reachable states. Default 1 000 000.
+    pub max_states: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Summary statistics of a reachability graph; see
+/// [`StateGraph::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of reachable states.
+    pub states: usize,
+    /// Number of (non-stuttering) transitions.
+    pub transitions: usize,
+    /// Number of states without outgoing transitions.
+    pub deadlocks: usize,
+    /// Longest shortest path from an initial state (BFS depth).
+    pub depth: usize,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, depth {}, {} deadlocks",
+            self.states, self.transitions, self.depth, self.deadlocks
+        )
+    }
+}
+
+/// An edge of the reachability graph: which action fired and where it
+/// leads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the action in the system's action list.
+    pub action: usize,
+    /// Index of the target state in the graph.
+    pub target: usize,
+}
+
+/// The reachable state graph of a [`System`], with a BFS tree for
+/// shortest-trace reconstruction.
+///
+/// Exploration order is deterministic (BFS over the system's action
+/// order), so state indices — and therefore counterexamples — are
+/// reproducible.
+#[derive(Clone, Debug)]
+pub struct StateGraph {
+    states: Vec<State>,
+    index: HashMap<State, usize>,
+    init: Vec<usize>,
+    edges: Vec<Vec<Edge>>,
+    parents: Vec<Option<(usize, usize)>>,
+}
+
+impl StateGraph {
+    /// Number of reachable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the graph is empty (no initial states).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of (non-stuttering) transitions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The state with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: usize) -> &State {
+        &self.states[id]
+    }
+
+    /// All reachable states in discovery order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The index of a state, if reachable.
+    pub fn index_of(&self, s: &State) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Indices of the initial states.
+    pub fn init(&self) -> &[usize] {
+        &self.init
+    }
+
+    /// Outgoing edges of a state.
+    pub fn edges(&self, id: usize) -> &[Edge] {
+        &self.edges[id]
+    }
+
+    /// States with no outgoing transition — "deadlocks" in the TLC
+    /// sense. In TLA semantics these states merely stutter forever,
+    /// which is often legitimate (a terminated protocol), but an
+    /// unexpected deadlock usually signals an over-constrained guard.
+    pub fn deadlocks(&self) -> Vec<usize> {
+        (0..self.len()).filter(|i| self.edges[*i].is_empty()).collect()
+    }
+
+    /// Summary statistics of the graph: states, transitions, deadlock
+    /// count, and the BFS depth (longest shortest path from an initial
+    /// state).
+    pub fn stats(&self) -> GraphStats {
+        // BFS depth from all initial states.
+        let mut depth = vec![usize::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &i in &self.init {
+            depth[i] = 0;
+            queue.push_back(i);
+        }
+        let mut max_depth = 0;
+        while let Some(s) = queue.pop_front() {
+            for e in &self.edges[s] {
+                if depth[e.target] == usize::MAX {
+                    depth[e.target] = depth[s] + 1;
+                    max_depth = max_depth.max(depth[e.target]);
+                    queue.push_back(e.target);
+                }
+            }
+        }
+        GraphStats {
+            states: self.len(),
+            transitions: self.edge_count(),
+            deadlocks: self.deadlocks().len(),
+            depth: max_depth,
+        }
+    }
+
+    /// The shortest trace from an initial state to `id`, as
+    /// `(action index leading into the state, state index)` pairs; the
+    /// first entry has no action.
+    pub fn trace_to(&self, id: usize) -> Vec<(Option<usize>, usize)> {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        loop {
+            match self.parents[cur] {
+                Some((pred, action)) => {
+                    rev.push((Some(action), cur));
+                    cur = pred;
+                }
+                None => {
+                    rev.push((None, cur));
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Shortest path (sequence of `(action, state)` hops) from `from`
+    /// to `to` inside the subgraph induced by `allowed` (a predicate on
+    /// state indices). Returns `None` if unreachable.
+    ///
+    /// The path starts *after* `from`: an empty path means
+    /// `from == to`.
+    pub fn path_within(
+        &self,
+        from: usize,
+        to: usize,
+        mut allowed: impl FnMut(usize) -> bool,
+    ) -> Option<Vec<(usize, usize)>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut prev: HashMap<usize, (usize, usize)> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(s) = queue.pop_front() {
+            for e in &self.edges[s] {
+                if !allowed(e.target) || prev.contains_key(&e.target) || e.target == from
+                {
+                    continue;
+                }
+                prev.insert(e.target, (s, e.action));
+                if e.target == to {
+                    let mut rev = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (p, a) = prev[&cur];
+                        rev.push((a, cur));
+                        cur = p;
+                    }
+                    rev.reverse();
+                    return Some(rev);
+                }
+                queue.push_back(e.target);
+            }
+        }
+        None
+    }
+}
+
+/// Explores the reachable states of a system breadth-first.
+///
+/// # Errors
+///
+/// * [`CheckError::NoInitialStates`] if the initial specification is
+///   empty;
+/// * [`CheckError::TooManyStates`] beyond `options.max_states`;
+/// * evaluation/domain errors from firing actions.
+pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, CheckError> {
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let mut graph = StateGraph {
+        states: Vec::new(),
+        index: HashMap::new(),
+        init: Vec::new(),
+        edges: Vec::new(),
+        parents: Vec::new(),
+    };
+    let mut queue = std::collections::VecDeque::new();
+    for s in init_states {
+        if graph.index.contains_key(&s) {
+            continue;
+        }
+        if graph.states.len() >= options.max_states {
+            return Err(CheckError::TooManyStates {
+                limit: options.max_states,
+            });
+        }
+        let id = graph.states.len();
+        graph.index.insert(s.clone(), id);
+        graph.states.push(s);
+        graph.edges.push(Vec::new());
+        graph.parents.push(None);
+        graph.init.push(id);
+        queue.push_back(id);
+    }
+    while let Some(id) = queue.pop_front() {
+        let succ = system.successors(&graph.states[id].clone())?;
+        for (action, t) in succ {
+            let target = match graph.index.get(&t) {
+                Some(existing) => *existing,
+                None => {
+                    if graph.states.len() >= options.max_states {
+                        return Err(CheckError::TooManyStates {
+                            limit: options.max_states,
+                        });
+                    }
+                    let nid = graph.states.len();
+                    graph.index.insert(t.clone(), nid);
+                    graph.states.push(t);
+                    graph.edges.push(Vec::new());
+                    graph.parents.push(Some((id, action)));
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            graph.edges[id].push(Edge { action, target });
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GuardedAction, Init};
+    use opentla_kernel::{Domain, Expr, Value, Vars};
+
+    fn counter(max: i64) -> System {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, max));
+        let incr = GuardedAction::new(
+            "incr",
+            Expr::var(x).lt(Expr::int(max)),
+            vec![(x, Expr::var(x).add(Expr::int(1)))],
+        );
+        System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr])
+    }
+
+    #[test]
+    fn explores_chain() {
+        let graph = explore(&counter(5), &ExploreOptions::default()).unwrap();
+        assert_eq!(graph.len(), 6);
+        assert_eq!(graph.edge_count(), 5);
+        assert_eq!(graph.init(), &[0]);
+        assert!(!graph.is_empty());
+    }
+
+    #[test]
+    fn trace_reconstruction() {
+        let graph = explore(&counter(5), &ExploreOptions::default()).unwrap();
+        let last = graph.len() - 1;
+        let trace = graph.trace_to(last);
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace[0].0, None);
+        assert!(trace[1..].iter().all(|(a, _)| a.is_some()));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let opts = ExploreOptions { max_states: 3 };
+        assert!(matches!(
+            explore(&counter(10), &opts),
+            Err(CheckError::TooManyStates { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn no_initial_states() {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let sys = System::new(
+            vars,
+            Init::new([]).with_constraint(Expr::var(x).eq(Expr::int(7))),
+            vec![],
+        );
+        assert!(matches!(
+            explore(&sys, &ExploreOptions::default()),
+            Err(CheckError::NoInitialStates)
+        ));
+    }
+
+    #[test]
+    fn toggle_graph_and_paths() {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let toggle = GuardedAction::new(
+            "toggle",
+            Expr::bool(true),
+            vec![(x, Expr::int(1).sub(Expr::var(x)))],
+        );
+        let sys = System::new(vars, Init::new([(x, Value::Int(0))]), vec![toggle]);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(graph.len(), 2);
+        // Path 0 → 1 within the full graph.
+        let p = graph.path_within(0, 1, |_| true).unwrap();
+        assert_eq!(p.len(), 1);
+        // Path 0 → 0: empty.
+        assert_eq!(graph.path_within(0, 0, |_| true).unwrap().len(), 0);
+        // With state 1 forbidden, 0 → 1 is unreachable.
+        assert!(graph.path_within(0, 1, |s| s != 1).is_none());
+    }
+
+    #[test]
+    fn deadlocks_and_stats() {
+        let graph = explore(&counter(5), &ExploreOptions::default()).unwrap();
+        // Only x = 5 is terminal.
+        assert_eq!(graph.deadlocks().len(), 1);
+        let stats = graph.stats();
+        assert_eq!(stats.states, 6);
+        assert_eq!(stats.transitions, 5);
+        assert_eq!(stats.deadlocks, 1);
+        assert_eq!(stats.depth, 5);
+        let text = stats.to_string();
+        assert!(text.contains("6 states") && text.contains("depth 5"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_init_states_deduplicated() {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        // Free variable x, no constraint: two initial states; plus a
+        // second enumeration of the same pinned one must not duplicate.
+        let sys = System::new(vars, Init::new([]), vec![]);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(graph.len(), 2);
+        assert_eq!(graph.init().len(), 2);
+        assert!(graph.index_of(graph.state(0)).is_some());
+        let _ = x;
+    }
+}

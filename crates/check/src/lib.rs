@@ -1,0 +1,89 @@
+//! # opentla-check
+//!
+//! An explicit-state model checker: the "complete system" verification
+//! substrate that the Composition Theorem of *Open Systems in TLA*
+//! (Abadi & Lamport, PODC 1994) reduces open-system reasoning to.
+//!
+//! The checker works on [`System`]s — transition systems in guarded-
+//! command form whose variables range over finite domains — and
+//! provides:
+//!
+//! * [`explore`] — deterministic breadth-first reachability, producing
+//!   a [`StateGraph`];
+//! * [`check_invariant`] / [`check_step_invariant`] — state and action
+//!   invariants with shortest counterexample traces;
+//! * [`check_simulation`] — step simulation against a safety-canonical
+//!   specification under a refinement mapping (the safety half of
+//!   refinement and of the Composition Theorem's hypotheses);
+//! * [`check_liveness`] — fairness-aware liveness checking by
+//!   strongly-connected-component analysis, producing fair lasso
+//!   counterexamples ([`Counterexample`] converts into a semantic
+//!   [`Lasso`](opentla_semantics::Lasso) so every counterexample can be
+//!   re-checked against the trace semantics).
+//!
+//! # Example
+//!
+//! ```
+//! use opentla_kernel::{Domain, Expr, Value, Vars};
+//! use opentla_check::{GuardedAction, Init, System, explore, ExploreOptions};
+//!
+//! let mut vars = Vars::new();
+//! let x = vars.declare("x", Domain::int_range(0, 3));
+//! let incr = GuardedAction::new(
+//!     "incr",
+//!     Expr::var(x).lt(Expr::int(3)),
+//!     vec![(x, Expr::var(x).add(Expr::int(1)))],
+//! );
+//! let system = System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr]);
+//! let graph = explore(&system, &ExploreOptions::default()).unwrap();
+//! assert_eq!(graph.len(), 4); // x ∈ {0, 1, 2, 3}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counterexample;
+mod error;
+mod explore;
+mod invariant;
+mod liveness;
+mod sample;
+mod simulate;
+mod system;
+
+pub use counterexample::Counterexample;
+pub use error::CheckError;
+pub use explore::{explore, Edge, ExploreOptions, GraphStats, StateGraph};
+pub use invariant::{check_invariant, check_step_invariant};
+pub use liveness::{check_liveness, LiveTarget};
+pub use sample::sample_behavior;
+pub use simulate::{check_simulation, SimulationReport};
+pub use system::{GuardedAction, Init, System, SystemFairness};
+
+/// The outcome of a check: either the property holds, or it is violated
+/// with a counterexample.
+///
+/// Engine failures (type errors in the specification, exhausted limits)
+/// are reported separately as [`CheckError`]s.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The property holds on every behavior of the system.
+    Holds,
+    /// The property is violated; the counterexample demonstrates it.
+    Violated(Counterexample),
+}
+
+impl Verdict {
+    /// Whether the property holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+
+    /// The counterexample, if the property is violated.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Holds => None,
+            Verdict::Violated(cx) => Some(cx),
+        }
+    }
+}

@@ -1,0 +1,1021 @@
+//! Fairness-aware liveness checking.
+//!
+//! A liveness property fails on a finite-state system iff some **fair
+//! lasso** violates it: a reachable cycle on which every one of the
+//! system's fairness requirements can be satisfied while the property
+//! is violated. The search is the classic one:
+//!
+//! 1. restrict the state graph to the states/edges a violating cycle
+//!    may use (this encodes the *negation* of the property);
+//! 2. enumerate strongly connected components of the restriction
+//!    (single nodes count — TLA behaviors may stutter forever);
+//! 3. check that each fairness requirement is *satisfiable* inside the
+//!    component: a `WF` needs an internal step of its action or a state
+//!    where it is disabled; an `SF` needs an internal step or the
+//!    absence of any enabled state — when an `SF` fails only because of
+//!    enabled states, those states are removed and the search recurses
+//!    on the sub-components (the standard Streett-condition
+//!    decomposition);
+//! 4. build the counterexample: shortest prefix, then a cycle visiting
+//!    a witness for every fairness requirement.
+//!
+//! Every returned [`Counterexample`] is a lasso that can be replayed
+//! against the trace semantics of `opentla-semantics` — the test suite
+//! does exactly that.
+
+use crate::{CheckError, Counterexample, StateGraph, System, Verdict};
+use opentla_kernel::{Expr, Fairness, FairnessKind, StatePair};
+
+/// The liveness property to verify. `Expr`s are state predicates.
+#[derive(Clone, Debug)]
+pub enum LiveTarget {
+    /// The system guarantees this fairness condition (typically an
+    /// abstract `WF`/`SF` obligation after a refinement mapping).
+    ///
+    /// `enabled_with`, if given, is the state predicate to use as
+    /// `Enabled ⟨A⟩_v` instead of the brute-force next-state search
+    /// over the system's universe. This matters for refinement
+    /// mappings: **`Enabled` does not commute with substitution** (the
+    /// classic TLA caveat), so the enabledness of a mapped abstract
+    /// action must be the *abstract* one — for guarded abstract actions
+    /// that is "some guard holds and its update would change the
+    /// subscript", mapped through the refinement — not what the
+    /// concrete successors happen to realize. The `opentla::compose`
+    /// engine supplies exactly that predicate. An over-approximation of
+    /// the true enabledness keeps `Holds` verdicts sound (more
+    /// violation candidates are searched); an under-approximation would
+    /// not.
+    Fair {
+        /// The fairness condition to establish.
+        fair: Fairness,
+        /// Optional explicit enabledness predicate for the angle
+        /// action.
+        enabled_with: Option<Expr>,
+    },
+    /// `◇P`.
+    Eventually(Expr),
+    /// `□◇P`.
+    AlwaysEventually(Expr),
+    /// `◇□P`.
+    EventuallyAlways(Expr),
+    /// `P ↝ Q`.
+    LeadsTo(Expr, Expr),
+}
+
+impl LiveTarget {
+    /// A fairness target whose enabledness is decided by next-state
+    /// search over the system's universe (right for unmapped,
+    /// concrete-variable actions).
+    pub fn fair(fair: Fairness) -> Self {
+        LiveTarget::Fair {
+            fair,
+            enabled_with: None,
+        }
+    }
+
+    /// A fairness target with an explicit enabledness predicate (see
+    /// [`LiveTarget::Fair`] — required under refinement mappings).
+    pub fn fair_with_enabled(fair: Fairness, enabled: Expr) -> Self {
+        LiveTarget::Fair {
+            fair,
+            enabled_with: Some(enabled),
+        }
+    }
+}
+
+/// Per-fairness-requirement facts about the graph.
+struct FairInfo {
+    kind: FairnessKind,
+    /// `angle[s][i]`: is the i-th edge of `s` an `⟨A⟩_v` step?
+    angle: Vec<Vec<bool>>,
+    /// Is `⟨A⟩_v` enabled in state `s`?
+    enabled: Vec<bool>,
+    /// Human-readable name for diagnostics.
+    #[allow(dead_code)]
+    name: String,
+}
+
+fn system_fair_infos(system: &System, graph: &StateGraph) -> Vec<FairInfo> {
+    system
+        .fairness()
+        .iter()
+        .map(|f| {
+            let mut angle = Vec::with_capacity(graph.len());
+            let mut enabled = vec![false; graph.len()];
+            for (id, s) in graph.states().iter().enumerate() {
+                let flags: Vec<bool> = graph
+                    .edges(id)
+                    .iter()
+                    .map(|e| {
+                        f.action_ids.contains(&e.action)
+                            && !s.agrees_with(graph.state(e.target), &f.sub)
+                    })
+                    .collect();
+                enabled[id] = flags.iter().any(|b| *b);
+                angle.push(flags);
+            }
+            let names: Vec<&str> = f
+                .action_ids
+                .iter()
+                .map(|i| system.actions()[*i].name())
+                .collect();
+            FairInfo {
+                kind: f.kind,
+                angle,
+                enabled,
+                name: format!(
+                    "{}({})",
+                    match f.kind {
+                        FairnessKind::Weak => "WF",
+                        FairnessKind::Strong => "SF",
+                    },
+                    names.join(" ∨ ")
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Facts about the target fairness condition (semantic, since the
+/// action may be an abstract action under a refinement mapping).
+fn target_fair_info(
+    system: &System,
+    graph: &StateGraph,
+    fair: &Fairness,
+    enabled_with: Option<&Expr>,
+) -> Result<(Vec<Vec<bool>>, Vec<bool>), CheckError> {
+    let angle_expr = fair.angle_action();
+    let mut angle = Vec::with_capacity(graph.len());
+    let mut enabled = vec![false; graph.len()];
+    for (id, s) in graph.states().iter().enumerate() {
+        let flags: Vec<bool> = graph
+            .edges(id)
+            .iter()
+            .map(|e| angle_expr.holds_action(StatePair::new(s, graph.state(e.target))))
+            .collect::<Result<_, _>>()?;
+        angle.push(flags);
+        enabled[id] = match enabled_with {
+            Some(pred) => pred.holds_state(s)?,
+            None => system.universe().enabled(&angle_expr, s)?,
+        };
+    }
+    Ok((angle, enabled))
+}
+
+/// What the violating cycle must look like, beyond fairness.
+struct Violation {
+    /// Description for the counterexample.
+    reason: String,
+    /// States the cycle may visit.
+    cycle_node_ok: Vec<bool>,
+    /// Edges the cycle may take (`None` = all).
+    cycle_edge_ok: Option<Vec<Vec<bool>>>,
+    /// States the (post-`starts`) path may visit (`None` = all).
+    path_node_ok: Option<Vec<bool>>,
+    /// Where the violating suffix may begin (each must be reachable;
+    /// the prefix up to it is unrestricted).
+    starts: Vec<usize>,
+    /// The cycle must contain a state from this set (`None` = no
+    /// requirement).
+    must_contain: Option<Vec<bool>>,
+}
+
+/// Checks a liveness property of the system.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (e.g. a type error in a predicate or in
+/// the target's action).
+///
+/// # Example
+///
+/// A counter reaches its bound only under weak fairness:
+///
+/// ```
+/// use opentla_check::{
+///     check_liveness, explore, ExploreOptions, GuardedAction, Init, LiveTarget,
+///     System, SystemFairness,
+/// };
+/// use opentla_kernel::{Domain, Expr, Value, Vars};
+///
+/// # fn main() -> Result<(), opentla_check::CheckError> {
+/// let mut vars = Vars::new();
+/// let x = vars.declare("x", Domain::int_range(0, 2));
+/// let incr = GuardedAction::new(
+///     "incr",
+///     Expr::var(x).lt(Expr::int(2)),
+///     vec![(x, Expr::var(x).add(Expr::int(1)))],
+/// );
+/// let goal = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(2)));
+///
+/// // Without fairness the system may stutter forever.
+/// let lazy = System::new(vars.clone(), Init::new([(x, Value::Int(0))]), vec![incr.clone()]);
+/// let graph = explore(&lazy, &ExploreOptions::default())?;
+/// assert!(!check_liveness(&lazy, &graph, &goal)?.holds());
+///
+/// // WF(incr) forces progress.
+/// let eager = System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr])
+///     .with_fairness(SystemFairness::weak(vec![0], vec![x]));
+/// let graph = explore(&eager, &ExploreOptions::default())?;
+/// assert!(check_liveness(&eager, &graph, &goal)?.holds());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_liveness(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+) -> Result<Verdict, CheckError> {
+    let violation = build_violation(system, graph, target)?;
+    let fair_infos = system_fair_infos(system, graph);
+    match find_violation(system, graph, &fair_infos, &violation)? {
+        Some(cx) => Ok(Verdict::Violated(cx)),
+        None => Ok(Verdict::Holds),
+    }
+}
+
+fn eval_pred(graph: &StateGraph, p: &Expr) -> Result<Vec<bool>, CheckError> {
+    graph
+        .states()
+        .iter()
+        .map(|s| p.holds_state(s).map_err(CheckError::from))
+        .collect()
+}
+
+fn build_violation(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+) -> Result<Violation, CheckError> {
+    let all = vec![true; graph.len()];
+    Ok(match target {
+        LiveTarget::Fair { fair, enabled_with } => {
+            let (angle, enabled) =
+                target_fair_info(system, graph, fair, enabled_with.as_ref())?;
+            let not_angle: Vec<Vec<bool>> = angle
+                .iter()
+                .map(|row| row.iter().map(|b| !b).collect())
+                .collect();
+            match fair.kind {
+                FairnessKind::Weak => Violation {
+                    reason: "target WF violated: its action stays enabled but is never taken"
+                        .into(),
+                    cycle_node_ok: enabled,
+                    cycle_edge_ok: Some(not_angle),
+                    path_node_ok: None,
+                    starts: graph.init().to_vec(),
+                    must_contain: None,
+                },
+                FairnessKind::Strong => Violation {
+                    reason:
+                        "target SF violated: its action is enabled infinitely often but taken only finitely often"
+                            .into(),
+                    cycle_node_ok: all,
+                    cycle_edge_ok: Some(not_angle),
+                    path_node_ok: None,
+                    starts: graph.init().to_vec(),
+                    must_contain: Some(enabled),
+                },
+            }
+        }
+        LiveTarget::Eventually(p) => {
+            let pv = eval_pred(graph, p)?;
+            let not_p: Vec<bool> = pv.iter().map(|b| !b).collect();
+            Violation {
+                reason: format!("◇({}) violated", p.display(system.vars())),
+                cycle_node_ok: not_p.clone(),
+                cycle_edge_ok: None,
+                path_node_ok: Some(not_p.clone()),
+                starts: graph
+                    .init()
+                    .iter()
+                    .copied()
+                    .filter(|i| not_p[*i])
+                    .collect(),
+                must_contain: None,
+            }
+        }
+        LiveTarget::AlwaysEventually(p) => {
+            let pv = eval_pred(graph, p)?;
+            let not_p: Vec<bool> = pv.iter().map(|b| !b).collect();
+            Violation {
+                reason: format!("□◇({}) violated", p.display(system.vars())),
+                cycle_node_ok: not_p,
+                cycle_edge_ok: None,
+                path_node_ok: None,
+                starts: graph.init().to_vec(),
+                must_contain: None,
+            }
+        }
+        LiveTarget::EventuallyAlways(p) => {
+            let pv = eval_pred(graph, p)?;
+            let not_p: Vec<bool> = pv.iter().map(|b| !b).collect();
+            Violation {
+                reason: format!("◇□({}) violated", p.display(system.vars())),
+                cycle_node_ok: all,
+                cycle_edge_ok: None,
+                path_node_ok: None,
+                starts: graph.init().to_vec(),
+                must_contain: Some(not_p),
+            }
+        }
+        LiveTarget::LeadsTo(p, q) => {
+            let pv = eval_pred(graph, p)?;
+            let qv = eval_pred(graph, q)?;
+            let not_q: Vec<bool> = qv.iter().map(|b| !b).collect();
+            let starts: Vec<usize> = (0..graph.len())
+                .filter(|i| pv[*i] && not_q[*i])
+                .collect();
+            Violation {
+                reason: format!(
+                    "({}) ↝ ({}) violated",
+                    p.display(system.vars()),
+                    q.display(system.vars())
+                ),
+                cycle_node_ok: not_q.clone(),
+                cycle_edge_ok: None,
+                path_node_ok: Some(not_q),
+                starts,
+                must_contain: None,
+            }
+        }
+    })
+}
+
+/// A witness that a fairness requirement is satisfied by the cycle.
+#[derive(Clone, Copy, Debug)]
+enum Waypoint {
+    /// Traverse this edge (source node, index into its edge list).
+    Edge(usize, usize),
+    /// Visit this node.
+    Node(usize),
+}
+
+fn find_violation(
+    system: &System,
+    graph: &StateGraph,
+    fair_infos: &[FairInfo],
+    v: &Violation,
+) -> Result<Option<Counterexample>, CheckError> {
+    if v.starts.is_empty() {
+        return Ok(None);
+    }
+    let edge_ok = |s: usize, i: usize| -> bool {
+        v.cycle_node_ok[s]
+            && v.cycle_node_ok[graph.edges(s)[i].target]
+            && v.cycle_edge_ok.as_ref().is_none_or(|rows| rows[s][i])
+    };
+    // SCCs of the restricted graph.
+    let sccs = tarjan_sccs(graph, &v.cycle_node_ok, &edge_ok);
+    // Which states can begin the violating suffix (path constraint).
+    let path_region = reachable_from(graph, &v.starts, v.path_node_ok.as_deref());
+    for scc in &sccs {
+        if let Some((nodes, waypoints)) =
+            fair_subcomponent(graph, fair_infos, &edge_ok, scc, v.must_contain.as_deref())
+        {
+            // Entry: a node of the component reachable under the path
+            // constraint.
+            let Some(&entry) = nodes.iter().find(|n| path_region[**n]) else {
+                continue;
+            };
+            return Ok(Some(build_counterexample(
+                system, graph, v, &nodes, &waypoints, entry, &edge_ok,
+            )));
+        }
+    }
+    Ok(None)
+}
+
+/// Depth-first search for a strongly connected node set (within `scc`)
+/// in which every fairness requirement is satisfiable and the
+/// `must_contain` requirement holds. Returns the node set plus one
+/// waypoint per fairness requirement that needs an explicit witness.
+fn fair_subcomponent(
+    graph: &StateGraph,
+    fair_infos: &[FairInfo],
+    edge_ok: &dyn Fn(usize, usize) -> bool,
+    scc: &[usize],
+    must_contain: Option<&[bool]>,
+) -> Option<(Vec<usize>, Vec<Waypoint>)> {
+    if let Some(req) = must_contain {
+        if !scc.iter().any(|n| req[*n]) {
+            return None;
+        }
+    }
+    let in_scc = |n: usize| scc.contains(&n);
+    let mut waypoints = Vec::new();
+    if let Some(req) = must_contain {
+        let node = scc.iter().copied().find(|n| req[*n]).expect("checked");
+        waypoints.push(Waypoint::Node(node));
+    }
+    for info in fair_infos {
+        // An internal ⟨A⟩_v edge satisfies both WF and SF.
+        let mut edge_witness = None;
+        'search: for &s in scc {
+            for (i, e) in graph.edges(s).iter().enumerate() {
+                if info.angle[s][i] && edge_ok(s, i) && in_scc(e.target) {
+                    edge_witness = Some(Waypoint::Edge(s, i));
+                    break 'search;
+                }
+            }
+        }
+        if let Some(w) = edge_witness {
+            waypoints.push(w);
+            continue;
+        }
+        match info.kind {
+            FairnessKind::Weak => {
+                // A state where the action is disabled, visited
+                // infinitely often, also satisfies WF.
+                match scc.iter().copied().find(|n| !info.enabled[*n]) {
+                    Some(n) => waypoints.push(Waypoint::Node(n)),
+                    None => return None, // WF unsatisfiable here and in any subset.
+                }
+            }
+            FairnessKind::Strong => {
+                // SF needs *no* enabled state in the cycle. If some are
+                // enabled, remove them and recurse on the
+                // sub-components (Streett decomposition).
+                if scc.iter().all(|n| !info.enabled[*n]) {
+                    continue; // Satisfied without a waypoint.
+                }
+                let survivors: Vec<usize> = scc
+                    .iter()
+                    .copied()
+                    .filter(|n| !info.enabled[*n])
+                    .collect();
+                if survivors.is_empty() {
+                    return None;
+                }
+                let mut node_ok = vec![false; graph.len()];
+                for &n in &survivors {
+                    node_ok[n] = true;
+                }
+                let sub_edge_ok =
+                    |s: usize, i: usize| edge_ok(s, i) && node_ok[graph.edges(s)[i].target];
+                for sub in tarjan_sccs(graph, &node_ok, &sub_edge_ok) {
+                    if let Some(found) =
+                        fair_subcomponent(graph, fair_infos, edge_ok, &sub, must_contain)
+                    {
+                        return Some(found);
+                    }
+                }
+                return None;
+            }
+        }
+    }
+    Some((scc.to_vec(), waypoints))
+}
+
+/// Iterative Tarjan over the restricted graph. Single nodes form
+/// components of their own (TLA behaviors may stutter forever, so every
+/// node carries an implicit self-loop).
+fn tarjan_sccs(
+    graph: &StateGraph,
+    node_ok: &[bool],
+    edge_ok: &dyn Fn(usize, usize) -> bool,
+) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next edge position).
+    for root in 0..n {
+        if !node_ok[root] || index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some((node, pos)) = dfs.last_mut() {
+            let node = *node;
+            let edges = graph.edges(node);
+            if *pos < edges.len() {
+                let i = *pos;
+                *pos += 1;
+                if !edge_ok(node, i) {
+                    continue;
+                }
+                let t = edges[i].target;
+                if !node_ok[t] {
+                    continue;
+                }
+                if index[t] == usize::MAX {
+                    index[t] = next_index;
+                    low[t] = next_index;
+                    next_index += 1;
+                    stack.push(t);
+                    on_stack[t] = true;
+                    dfs.push((t, 0));
+                } else if on_stack[t] {
+                    low[node] = low[node].min(index[t]);
+                }
+            } else {
+                dfs.pop();
+                if let Some((parent, _)) = dfs.last() {
+                    low[*parent] = low[*parent].min(low[node]);
+                }
+                if low[node] == index[node] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// States reachable from `starts` through states satisfying
+/// `node_ok` (`None` = all). Start states must satisfy it themselves.
+fn reachable_from(
+    graph: &StateGraph,
+    starts: &[usize],
+    node_ok: Option<&[bool]>,
+) -> Vec<bool> {
+    let ok = |n: usize| node_ok.is_none_or(|f| f[n]);
+    let mut seen = vec![false; graph.len()];
+    let mut queue: std::collections::VecDeque<usize> = starts
+        .iter()
+        .copied()
+        .filter(|n| ok(*n))
+        .inspect(|n| seen[*n] = true)
+        .collect();
+    while let Some(s) = queue.pop_front() {
+        for e in graph.edges(s) {
+            if ok(e.target) && !seen[e.target] {
+                seen[e.target] = true;
+                queue.push_back(e.target);
+            }
+        }
+    }
+    seen
+}
+
+/// BFS path inside a filtered graph, returning `(edge index, node)`
+/// hops after `from`.
+fn path_filtered(
+    graph: &StateGraph,
+    from: usize,
+    goal: &dyn Fn(usize) -> bool,
+    node_ok: &dyn Fn(usize) -> bool,
+    edge_ok: &dyn Fn(usize, usize) -> bool,
+) -> Option<Vec<(usize, usize)>> {
+    if goal(from) {
+        return Some(Vec::new());
+    }
+    let mut prev: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(s) = queue.pop_front() {
+        for (i, e) in graph.edges(s).iter().enumerate() {
+            if !edge_ok(s, i) || !node_ok(e.target) {
+                continue;
+            }
+            if e.target == from || prev.contains_key(&e.target) {
+                continue;
+            }
+            prev.insert(e.target, (s, i));
+            if goal(e.target) {
+                let mut rev = Vec::new();
+                let mut cur = e.target;
+                while cur != from {
+                    let (p, i) = prev[&cur];
+                    rev.push((i, cur));
+                    cur = p;
+                }
+                rev.reverse();
+                return Some(rev);
+            }
+            queue.push_back(e.target);
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_counterexample(
+    system: &System,
+    graph: &StateGraph,
+    v: &Violation,
+    nodes: &[usize],
+    waypoints: &[Waypoint],
+    entry: usize,
+    edge_ok: &dyn Fn(usize, usize) -> bool,
+) -> Counterexample {
+    let action_name =
+        |i: usize| -> Option<String> { Some(system.actions()[i].name().to_string()) };
+    // Prefix: unrestricted shortest trace to the suffix start, then a
+    // path (under the path constraint) from the start to the entry.
+    let start = *v
+        .starts
+        .iter()
+        .find(|s| {
+            let region = reachable_from(graph, &[**s], v.path_node_ok.as_deref());
+            region[entry]
+        })
+        .expect("entry was reachable from some start");
+    let mut ids: Vec<(Option<usize>, usize)> = graph.trace_to(start);
+    let path_ok = |n: usize| v.path_node_ok.as_ref().is_none_or(|f| f[n]);
+    let to_entry = path_filtered(
+        graph,
+        start,
+        &|n| n == entry,
+        &path_ok,
+        &|_, _| true,
+    )
+    .expect("reachability established");
+    ids.extend(to_entry.iter().map(|(i, n)| (Some(*i), *n)));
+
+    let loop_start = ids.len() - 1; // Index of `entry` in the trace.
+
+    // Cycle: visit every waypoint inside the component, then return.
+    let in_nodes = |n: usize| nodes.contains(&n);
+    let comp_edge_ok = |s: usize, i: usize| edge_ok(s, i) && in_nodes(graph.edges(s)[i].target);
+    let mut cur = entry;
+    let append_path_to = |goal: usize, ids: &mut Vec<(Option<usize>, usize)>, cur: &mut usize| {
+        let hops = path_filtered(graph, *cur, &|n| n == goal, &in_nodes, &comp_edge_ok)
+            .expect("component is strongly connected");
+        ids.extend(hops.iter().map(|(i, n)| (Some(*i), *n)));
+        *cur = goal;
+    };
+    for wp in waypoints {
+        match wp {
+            Waypoint::Node(n) => append_path_to(*n, &mut ids, &mut cur),
+            Waypoint::Edge(s, i) => {
+                append_path_to(*s, &mut ids, &mut cur);
+                let e = graph.edges(*s)[*i];
+                ids.push((Some(e.action), e.target));
+                cur = e.target;
+            }
+        }
+    }
+    if cur != entry {
+        append_path_to(entry, &mut ids, &mut cur);
+        // The walk re-appended `entry`; drop it — the lasso wraps there.
+        ids.pop();
+    }
+    let states = ids.iter().map(|(_, n)| graph.state(*n).clone()).collect();
+    let actions = ids
+        .iter()
+        .map(|(a, _)| a.and_then(action_name))
+        .collect();
+    Counterexample::new(v.reason.clone(), states, actions, Some(loop_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, ExploreOptions, GuardedAction, Init, SystemFairness};
+    use opentla_kernel::{Domain, Formula, Value, VarId, Vars};
+    use opentla_semantics::{eval, EvalCtx};
+
+    /// x counts 0..=3; `incr` increments, `reset` jumps back to 0.
+    fn counter(fair: bool) -> (System, VarId) {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 3));
+        let incr = GuardedAction::new(
+            "incr",
+            Expr::var(x).lt(Expr::int(3)),
+            vec![(x, Expr::var(x).add(Expr::int(1)))],
+        );
+        let mut sys = System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr]);
+        if fair {
+            let frame = sys.frame();
+            sys = sys.with_fairness(SystemFairness::weak(vec![0], frame));
+        }
+        (sys, x)
+    }
+
+    fn confirm_semantically(system: &System, cx: &Counterexample, target: &Formula) {
+        // The counterexample must be a real fair behavior of the system
+        // that violates the target.
+        let lasso = cx.to_lasso();
+        let ctx = EvalCtx::with_universe(system.universe().clone());
+        let spec = system.formula();
+        assert!(
+            eval(&spec, &lasso, &ctx).unwrap(),
+            "counterexample must satisfy the system spec (incl. fairness)"
+        );
+        assert!(
+            !eval(target, &lasso, &ctx).unwrap(),
+            "counterexample must violate the target"
+        );
+    }
+
+    #[test]
+    fn eventually_fails_without_fairness() {
+        let (sys, x) = counter(false);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let p = Expr::var(x).eq(Expr::int(3));
+        let verdict =
+            check_liveness(&sys, &graph, &LiveTarget::Eventually(p.clone())).unwrap();
+        let cx = verdict.counterexample().expect("stuttering violates ◇");
+        confirm_semantically(&sys, cx, &Formula::pred(p).eventually());
+    }
+
+    #[test]
+    fn eventually_holds_with_fairness() {
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let p = Expr::var(x).eq(Expr::int(3));
+        assert!(check_liveness(&sys, &graph, &LiveTarget::Eventually(p))
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
+    fn leads_to() {
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let p = Expr::var(x).eq(Expr::int(1));
+        let q = Expr::var(x).eq(Expr::int(3));
+        assert!(
+            check_liveness(&sys, &graph, &LiveTarget::LeadsTo(p.clone(), q.clone()))
+                .unwrap()
+                .holds()
+        );
+        // Reverse direction is violated: x = 3 is terminal (only
+        // stuttering remains), so ◇(x = 1) fails from there.
+        let verdict =
+            check_liveness(&sys, &graph, &LiveTarget::LeadsTo(q.clone(), p.clone()))
+                .unwrap();
+        let cx = verdict.counterexample().expect("3 never leads to 1");
+        confirm_semantically(
+            &sys,
+            cx,
+            &Formula::pred(q).leads_to(Formula::pred(p)),
+        );
+    }
+
+    #[test]
+    fn eventually_always_and_always_eventually() {
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        // ◇□(x = 3): holds — fairness drives x to 3, which is terminal.
+        let p = Expr::var(x).eq(Expr::int(3));
+        assert!(
+            check_liveness(&sys, &graph, &LiveTarget::EventuallyAlways(p.clone()))
+                .unwrap()
+                .holds()
+        );
+        // □◇(x = 0): fails — x never returns to 0.
+        let z = Expr::var(x).eq(Expr::int(0));
+        let verdict =
+            check_liveness(&sys, &graph, &LiveTarget::AlwaysEventually(z.clone()))
+                .unwrap();
+        let cx = verdict.counterexample().expect("x leaves 0 forever");
+        confirm_semantically(
+            &sys,
+            cx,
+            &Formula::pred(z).eventually().always(),
+        );
+    }
+
+    /// Toggle system with two actions; weak fairness on one of them.
+    fn toggle_pair() -> (System, VarId, VarId) {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let y = vars.declare("y", Domain::bits());
+        let set_x = GuardedAction::new(
+            "set_x",
+            Expr::var(x).eq(Expr::int(0)),
+            vec![(x, Expr::int(1))],
+        );
+        let toggle_y = GuardedAction::new(
+            "toggle_y",
+            Expr::bool(true),
+            vec![(y, Expr::int(1).sub(Expr::var(y)))],
+        );
+        let sys = System::new(
+            vars,
+            Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+            vec![set_x, toggle_y],
+        );
+        (sys, x, y)
+    }
+
+    #[test]
+    fn target_wf_obligation() {
+        // Without system fairness, the target WF(set_x) is violated by
+        // toggling y forever.
+        let (sys, x, _) = toggle_pair();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let frame = sys.frame();
+        let set_x_expr = sys.actions()[0].action_expr(&frame);
+        let target = Fairness::weak(set_x_expr.clone(), vec![x]);
+        let verdict =
+            check_liveness(&sys, &graph, &LiveTarget::fair(target.clone())).unwrap();
+        let cx = verdict.counterexample().expect("y-toggling starves set_x");
+        confirm_semantically(&sys, cx, &Formula::Fair(target.clone()));
+
+        // With WF on set_x as a system requirement, the obligation
+        // holds.
+        let sys = sys.with_fairness(SystemFairness::weak(vec![0], vec![x]));
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert!(check_liveness(&sys, &graph, &LiveTarget::fair(target))
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
+    fn strong_fairness_distinguished() {
+        // Action `grab` is enabled only when y = 0, and y toggles
+        // forever: enabled infinitely often, disabled infinitely often.
+        // WF(grab) is satisfied by the toggling run; SF(grab) is not.
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let y = vars.declare("y", Domain::bits());
+        let grab = GuardedAction::new(
+            "grab",
+            Expr::all([Expr::var(y).eq(Expr::int(0)), Expr::var(x).eq(Expr::int(0))]),
+            vec![(x, Expr::int(1))],
+        );
+        let toggle_y = GuardedAction::new(
+            "toggle_y",
+            Expr::bool(true),
+            vec![(y, Expr::int(1).sub(Expr::var(y)))],
+        );
+        let sys = System::new(
+            vars,
+            Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+            vec![grab, toggle_y],
+        );
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let frame = sys.frame();
+        let grab_expr = sys.actions()[0].action_expr(&frame);
+
+        let wf_target = Fairness::weak(grab_expr.clone(), vec![x]);
+        let sf_target = Fairness::strong(grab_expr.clone(), vec![x]);
+        // Neither obligation holds for the bare system (stuttering or
+        // staying at y=0 starves grab while it is enabled).
+        assert!(!check_liveness(&sys, &graph, &LiveTarget::fair(wf_target.clone()))
+            .unwrap()
+            .holds());
+        // Under system WF(toggle_y) + WF(grab): grab can still starve?
+        // No: WF(grab) forces it whenever continuously enabled; but
+        // toggling makes it non-continuously enabled, so WF(grab) is
+        // satisfiable without firing grab — SF target must still fail.
+        let sys = sys
+            .with_fairness(SystemFairness::weak(vec![1], vec![y]))
+            .with_fairness(SystemFairness::weak(vec![0], vec![x]));
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let wf_verdict =
+            check_liveness(&sys, &graph, &LiveTarget::fair(wf_target.clone())).unwrap();
+        assert!(wf_verdict.holds(), "WF target holds under system WF");
+        let sf_verdict =
+            check_liveness(&sys, &graph, &LiveTarget::fair(sf_target.clone())).unwrap();
+        let cx = sf_verdict
+            .counterexample()
+            .expect("SF target fails: toggling starves grab fairly");
+        confirm_semantically(&sys, cx, &Formula::Fair(sf_target));
+    }
+
+    #[test]
+    fn system_sf_makes_target_hold() {
+        // Same system, but now the *system* promises SF(grab) and
+        // WF(toggle_y): toggling keeps grab enabled infinitely often,
+        // SF excludes starving it, so ◇(x = 1) holds. (SF(grab) alone
+        // would not suffice: the system could park at y = 1, where grab
+        // is disabled, satisfying SF vacuously.)
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let y = vars.declare("y", Domain::bits());
+        let grab = GuardedAction::new(
+            "grab",
+            Expr::all([Expr::var(y).eq(Expr::int(0)), Expr::var(x).eq(Expr::int(0))]),
+            vec![(x, Expr::int(1))],
+        );
+        let toggle_y = GuardedAction::new(
+            "toggle_y",
+            Expr::bool(true),
+            vec![(y, Expr::int(1).sub(Expr::var(y)))],
+        );
+        let sys = System::new(
+            vars,
+            Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+            vec![grab, toggle_y],
+        )
+        .with_fairness(SystemFairness::strong(vec![0], vec![x]))
+        .with_fairness(SystemFairness::weak(vec![1], vec![y]));
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let p = Expr::var(x).eq(Expr::int(1));
+        assert!(
+            check_liveness(&sys, &graph, &LiveTarget::Eventually(p.clone()))
+                .unwrap()
+                .holds(),
+            "SF(grab) + WF(toggle_y) force grab"
+        );
+        // Under only WF(grab) it fails (the Streett decomposition must
+        // find the toggling sub-component where grab is disabled —
+        // wait, WF: the toggling cycle satisfies WF(grab) because grab
+        // is disabled at y=1 states infinitely often).
+        let sys2 = {
+            let mut vars = Vars::new();
+            let x = vars.declare("x", Domain::bits());
+            let y = vars.declare("y", Domain::bits());
+            let grab = GuardedAction::new(
+                "grab",
+                Expr::all([
+                    Expr::var(y).eq(Expr::int(0)),
+                    Expr::var(x).eq(Expr::int(0)),
+                ]),
+                vec![(x, Expr::int(1))],
+            );
+            let toggle_y = GuardedAction::new(
+                "toggle_y",
+                Expr::bool(true),
+                vec![(y, Expr::int(1).sub(Expr::var(y)))],
+            );
+            System::new(
+                vars,
+                Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+                vec![grab, toggle_y],
+            )
+            .with_fairness(SystemFairness::weak(vec![0], vec![x]))
+            .with_fairness(SystemFairness::weak(vec![1], vec![y]))
+        };
+        let graph2 = explore(&sys2, &ExploreOptions::default()).unwrap();
+        let verdict =
+            check_liveness(&sys2, &graph2, &LiveTarget::Eventually(p)).unwrap();
+        assert!(!verdict.holds(), "WF(grab) is too weak");
+    }
+
+    #[test]
+    fn streett_decomposition_for_system_sf() {
+        // spin cycles y through 0, 1, 2; mark is enabled only at y = 2
+        // and sets x. The system promises SF(mark).
+        fn make(with_spin_wf: bool) -> System {
+            let mut vars = Vars::new();
+            let x = vars.declare("x", Domain::bits());
+            let y = vars.declare("y", Domain::int_range(0, 2));
+            let spin = GuardedAction::new(
+                "spin",
+                Expr::bool(true),
+                vec![(
+                    y,
+                    Expr::var(y)
+                        .eq(Expr::int(2))
+                        .ite(Expr::int(0), Expr::var(y).add(Expr::int(1))),
+                )],
+            );
+            let mark = GuardedAction::new(
+                "mark",
+                Expr::all([
+                    Expr::var(y).eq(Expr::int(2)),
+                    Expr::var(x).eq(Expr::int(0)),
+                ]),
+                vec![(x, Expr::int(1))],
+            );
+            let mut sys = System::new(
+                vars,
+                Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+                vec![spin, mark],
+            )
+            .with_fairness(SystemFairness::strong(vec![1], vec![x]));
+            if with_spin_wf {
+                sys = sys.with_fairness(SystemFairness::weak(vec![0], vec![y]));
+            }
+            sys
+        }
+        let x_of = |sys: &System| sys.vars().find("x").unwrap();
+
+        // With SF(mark) alone, the system may loop below y = 2 (where
+        // mark stays disabled), so ◇(x = 1) fails. Finding this
+        // violation requires the Streett decomposition: the candidate
+        // component contains y = 2 states where mark is enabled, and
+        // they must be carved out.
+        let sys = make(false);
+        let p = Expr::var(x_of(&sys)).eq(Expr::int(1));
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let verdict =
+            check_liveness(&sys, &graph, &LiveTarget::Eventually(p.clone())).unwrap();
+        let cx = verdict
+            .counterexample()
+            .expect("looping below y=2 keeps mark disabled");
+        confirm_semantically(&sys, cx, &Formula::pred(p.clone()).eventually());
+
+        // Adding WF(spin) forces y to keep cycling, so mark is enabled
+        // infinitely often and SF(mark) forces it: ◇(x = 1) holds.
+        let sys = make(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert!(check_liveness(&sys, &graph, &LiveTarget::Eventually(p))
+            .unwrap()
+            .holds());
+    }
+}

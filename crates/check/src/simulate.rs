@@ -1,0 +1,271 @@
+//! Step simulation against safety-canonical specifications under
+//! refinement mappings.
+//!
+//! To prove `System ⊨ Target` for a safety-canonical `Target` whose
+//! internal variables are eliminated by a refinement mapping (a
+//! [`Substitution`]), it suffices that:
+//!
+//! 1. every initial state satisfies the (mapped) initial predicates;
+//! 2. every reachable state satisfies the (mapped) invariants;
+//! 3. every reachable transition satisfies every (mapped) step box
+//!    `[A]_v` — stuttering steps satisfy them trivially.
+//!
+//! This is the standard refinement-mapping argument of TLA [10 in the
+//! paper], and it is how the safety hypotheses (1 and 2(a), after
+//! Propositions 1–4 strip `C` and `+v`) of the Composition Theorem are
+//! discharged.
+
+use crate::invariant::trace_counterexample;
+use crate::{CheckError, Counterexample, StateGraph, System, Verdict};
+use opentla_kernel::{box_action, Formula, StatePair, Substitution};
+use opentla_semantics::safety_canonical;
+
+/// The result of a simulation check, with workload statistics.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Whether the simulation holds, or a counterexample.
+    pub verdict: Verdict,
+    /// Reachable states examined.
+    pub states: usize,
+    /// Transitions examined.
+    pub edges: usize,
+}
+
+impl SimulationReport {
+    /// Whether the simulation holds.
+    pub fn holds(&self) -> bool {
+        self.verdict.holds()
+    }
+}
+
+/// Checks that every behavior of `system` satisfies the
+/// safety-canonical formula `target` under the refinement `mapping`
+/// (mapping the target's internal variables to state functions of the
+/// system's variables; pass an empty substitution when there are
+/// none).
+///
+/// # Errors
+///
+/// * [`CheckError::NotCanonical`] if `target` is not safety-canonical
+///   after applying the mapping;
+/// * substitution capture errors;
+/// * evaluation errors.
+pub fn check_simulation(
+    system: &System,
+    graph: &StateGraph,
+    target: &Formula,
+    mapping: &Substitution,
+) -> Result<SimulationReport, CheckError> {
+    let mapped = mapping.formula(target)?;
+    let Some(sc) = safety_canonical(&mapped) else {
+        return Err(CheckError::NotCanonical {
+            context: "check_simulation",
+        });
+    };
+    let vars = system.vars();
+    let mut edges_checked = 0usize;
+
+    // 1. Initial predicates.
+    for id in graph.init() {
+        let s = graph.state(*id);
+        for p in &sc.init {
+            if !p.holds_state(s)? {
+                return Ok(SimulationReport {
+                    verdict: Verdict::Violated(trace_counterexample(
+                        system,
+                        graph,
+                        *id,
+                        format!(
+                            "initial condition of the target fails: {}",
+                            p.display(vars)
+                        ),
+                    )),
+                    states: graph.len(),
+                    edges: edges_checked,
+                });
+            }
+        }
+    }
+    // 2. Invariants.
+    for (id, s) in graph.states().iter().enumerate() {
+        for p in &sc.invariants {
+            if !p.holds_state(s)? {
+                return Ok(SimulationReport {
+                    verdict: Verdict::Violated(trace_counterexample(
+                        system,
+                        graph,
+                        id,
+                        format!("target invariant fails: {}", p.display(vars)),
+                    )),
+                    states: graph.len(),
+                    edges: edges_checked,
+                });
+            }
+        }
+    }
+    // 3. Step boxes on every edge.
+    let boxes: Vec<_> = sc
+        .boxes
+        .iter()
+        .map(|(a, sub)| box_action(a.clone(), sub))
+        .collect();
+    for (id, s) in graph.states().iter().enumerate() {
+        for e in graph.edges(id) {
+            edges_checked += 1;
+            let t = graph.state(e.target);
+            let pair = StatePair::new(s, t);
+            for (bi, b) in boxes.iter().enumerate() {
+                if !b.holds_action(pair)? {
+                    let base = trace_counterexample(
+                        system,
+                        graph,
+                        id,
+                        format!(
+                            "step of action {} violates target box #{bi}: {}",
+                            system.actions()[e.action].name(),
+                            sc.boxes[bi].0.display(vars),
+                        ),
+                    );
+                    let mut states = base.states().to_vec();
+                    let mut actions = base.actions().to_vec();
+                    states.push(t.clone());
+                    actions.push(Some(system.actions()[e.action].name().to_string()));
+                    let cx = Counterexample::new(
+                        base.reason().to_string(),
+                        states,
+                        actions,
+                        None,
+                    );
+                    return Ok(SimulationReport {
+                        verdict: Verdict::Violated(cx),
+                        states: graph.len(),
+                        edges: edges_checked,
+                    });
+                }
+            }
+        }
+    }
+    Ok(SimulationReport {
+        verdict: Verdict::Holds,
+        states: graph.len(),
+        edges: edges_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, ExploreOptions, GuardedAction, Init};
+    use opentla_kernel::{Domain, Expr, Value, VarId, Vars};
+
+    /// Two-bit counter that increments modulo 4 via low/high bits; the
+    /// abstract view is a mod-4 counter variable.
+    fn setup() -> (System, VarId, VarId, VarId) {
+        let mut vars = Vars::new();
+        let lo = vars.declare("lo", Domain::bits());
+        let hi = vars.declare("hi", Domain::bits());
+        // Abstract counter (internal to the target spec).
+        let n = vars.declare("n", Domain::int_range(0, 3));
+        let tick = GuardedAction::new(
+            "tick",
+            Expr::bool(true),
+            vec![
+                (lo, Expr::int(1).sub(Expr::var(lo))),
+                (
+                    hi,
+                    Expr::var(lo)
+                        .eq(Expr::int(1))
+                        .ite(Expr::int(1).sub(Expr::var(hi)), Expr::var(hi)),
+                ),
+            ],
+        );
+        let sys = System::new(
+            vars,
+            Init::new([
+                (lo, Value::Int(0)),
+                (hi, Value::Int(0)),
+                (n, Value::Int(0)), // n is not used by the system; pin it.
+            ]),
+            vec![tick],
+        );
+        (sys, lo, hi, n)
+    }
+
+    fn abstract_spec(n: VarId) -> Formula {
+        // n = 0 ∧ □[n' = (n + 1) mod 4]_n, with mod expressed by Ite.
+        let next = Expr::var(n)
+            .eq(Expr::int(3))
+            .ite(Expr::int(0), Expr::var(n).add(Expr::int(1)));
+        Formula::pred(Expr::var(n).eq(Expr::int(0)))
+            .and(Formula::act_box(Expr::prime(n).eq(next), vec![n]))
+    }
+
+    #[test]
+    fn simulation_with_mapping_holds() {
+        let (sys, lo, hi, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        // Mapping: n ↦ 2*hi + lo.
+        let mapping = Substitution::new([(
+            n,
+            Expr::int(2).mul(Expr::var(hi)).add(Expr::var(lo)),
+        )]);
+        let report =
+            check_simulation(&sys, &graph, &abstract_spec(n), &mapping).unwrap();
+        assert!(report.holds(), "{:?}", report.verdict);
+        assert!(report.edges > 0);
+    }
+
+    #[test]
+    fn wrong_mapping_fails_with_trace() {
+        let (sys, lo, _, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        // Bogus mapping: n ↦ lo. The step from lo=1 wraps to 0, which
+        // the abstract spec only allows from n = 3.
+        let mapping = Substitution::new([(n, Expr::var(lo))]);
+        let report =
+            check_simulation(&sys, &graph, &abstract_spec(n), &mapping).unwrap();
+        let cx = report.verdict.counterexample().expect("must fail");
+        assert!(cx.reason().contains("box"));
+        assert!(cx.states().len() >= 2);
+    }
+
+    #[test]
+    fn wrong_init_detected() {
+        let (sys, _, _, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = Formula::pred(Expr::var(n).eq(Expr::int(1)));
+        let mapping = Substitution::new([(n, Expr::int(0))]);
+        let report = check_simulation(&sys, &graph, &target, &mapping).unwrap();
+        let cx = report.verdict.counterexample().expect("must fail");
+        assert!(cx.reason().contains("initial"));
+    }
+
+    #[test]
+    fn invariant_part_checked() {
+        let (sys, lo, hi, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let mapping = Substitution::new([(
+            n,
+            Expr::int(2).mul(Expr::var(hi)).add(Expr::var(lo)),
+        )]);
+        // Target: □(n ≤ 3) — holds.
+        let ok = Formula::pred(Expr::var(n).le(Expr::int(3))).always();
+        assert!(check_simulation(&sys, &graph, &ok, &mapping).unwrap().holds());
+        // Target: □(n ≤ 2) — fails at n = 3.
+        let bad = Formula::pred(Expr::var(n).le(Expr::int(2))).always();
+        let report = check_simulation(&sys, &graph, &bad, &mapping).unwrap();
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        let (sys, _, _, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let live = Formula::pred(Expr::var(n).eq(Expr::int(3))).eventually();
+        let mapping = Substitution::new([(n, Expr::int(0))]);
+        assert!(matches!(
+            check_simulation(&sys, &graph, &live, &mapping),
+            Err(CheckError::NotCanonical { .. })
+        ));
+    }
+}

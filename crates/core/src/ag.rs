@@ -1,0 +1,534 @@
+//! Assumption/guarantee specifications `E ⊳ M` and realization
+//! checking.
+
+use crate::{ComponentSpec, SpecError};
+use opentla_check::{
+    Counterexample, GuardedAction, StateGraph, System, Verdict,
+};
+use opentla_kernel::{Formula, Renaming, State, StatePair, VarId, Vars};
+use opentla_semantics::{safety_canonical, SafetyCanonical};
+use std::collections::HashMap;
+
+/// An assumption/guarantee specification `E ⊳ M` (Section 3 of the
+/// paper): the system guarantees `M` at least one step longer than the
+/// environment satisfies `E`.
+///
+/// The assumption is a safety-only component (the paper's practice:
+/// "we write the environment assumption as a safety property"); the
+/// guarantee may carry fairness.
+///
+/// # Example
+///
+/// ```
+/// use opentla::{AgSpec, ComponentSpec};
+/// use opentla_check::Init;
+/// use opentla_kernel::{Domain, Formula, Value, Vars};
+///
+/// # fn main() -> Result<(), opentla::SpecError> {
+/// let mut vars = Vars::new();
+/// let c = vars.declare("c", Domain::bits());
+/// let d = vars.declare("d", Domain::bits());
+/// let env = ComponentSpec::builder("E")
+///     .outputs([d]).inputs([c])
+///     .init(Init::new([(d, Value::Int(0))]))
+///     .build()?;
+/// let sys = ComponentSpec::builder("M")
+///     .outputs([c]).inputs([d])
+///     .init(Init::new([(c, Value::Int(0))]))
+///     .build()?;
+/// let ag = AgSpec::new(env, sys)?;
+/// assert_eq!(ag.name(), "E ⊳ M");
+/// assert!(matches!(ag.formula(), Formula::WhilePlus { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AgSpec {
+    env: ComponentSpec,
+    sys: ComponentSpec,
+}
+
+impl AgSpec {
+    /// Pairs an environment assumption with a system guarantee.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::EnvWithFairness`] if the assumption has fairness
+    ///   conditions (assumptions must be safety properties for the
+    ///   composition rules to apply);
+    /// * [`SpecError::DuplicateOwnership`] if the two components claim
+    ///   the same output.
+    pub fn new(env: ComponentSpec, sys: ComponentSpec) -> Result<Self, SpecError> {
+        if env.has_fairness() {
+            return Err(SpecError::EnvWithFairness {
+                component: env.name().to_string(),
+            });
+        }
+        for v in env.owned() {
+            if sys.owned().contains(&v) {
+                return Err(SpecError::DuplicateOwnership {
+                    var: v,
+                    owners: (env.name().to_string(), sys.name().to_string()),
+                });
+            }
+        }
+        Ok(AgSpec { env, sys })
+    }
+
+    /// The environment assumption `E`.
+    pub fn env(&self) -> &ComponentSpec {
+        &self.env
+    }
+
+    /// The system guarantee `M`.
+    pub fn sys(&self) -> &ComponentSpec {
+        &self.sys
+    }
+
+    /// The specification's name, `env ⊳ sys`.
+    pub fn name(&self) -> String {
+        format!("{} ⊳ {}", self.env.name(), self.sys.name())
+    }
+
+    /// The formula `E ⊳ M` (internals hidden on both sides).
+    pub fn formula(&self) -> Formula {
+        self.env
+            .hidden_formula()
+            .while_plus(self.sys.hidden_formula())
+    }
+
+    /// Renames both sides — the paper's `QE[1] ⊳ QM[1]` instances.
+    pub fn rename(
+        &self,
+        env_name: impl Into<String>,
+        sys_name: impl Into<String>,
+        renaming: &Renaming,
+    ) -> AgSpec {
+        AgSpec {
+            env: self.env.rename(env_name, renaming),
+            sys: self.sys.rename(sys_name, renaming),
+        }
+    }
+
+    /// Checks (the safety half of) "`implementation` realizes this
+    /// specification": the implementation is run against a maximally
+    /// hostile environment owning the guarantee's inputs, and the `⊳`
+    /// monitor verifies the guarantee is never violated unless the
+    /// assumption was violated strictly earlier.
+    ///
+    /// `mapping` eliminates the guarantee's internal variables in terms
+    /// of the implementation's (pass the empty [`Substitution`] when
+    /// the implementation uses the very same internals, as when a
+    /// component realizes its own specification).
+    ///
+    /// # Errors
+    ///
+    /// Structural or engine errors; a genuine non-realization is a
+    /// [`Verdict::Violated`] with the offending trace.
+    pub fn realize_safety(
+        &self,
+        vars: &Vars,
+        implementation: &ComponentSpec,
+        mapping: &opentla_kernel::Substitution,
+    ) -> Result<Verdict, SpecError> {
+        let chaos = chaos_environment(
+            format!("chaos-for-{}", self.sys.name()),
+            vars,
+            self.sys.inputs(),
+        );
+        let system = crate::closed_product(vars, &[implementation, &chaos])?;
+        let graph = opentla_check::explore(
+            &system,
+            &opentla_check::ExploreOptions::default(),
+        )?;
+        let env_f = mapping.formula(&self.env.safety_formula())?;
+        let sys_f = mapping.formula(&self.sys.safety_formula())?;
+        check_ag_safety(&system, &graph, &env_f, &sys_f)
+    }
+}
+
+/// A maximally hostile (but interleaving) environment: a component that
+/// owns `outputs` and may set any one of them to any domain value at
+/// any step.
+///
+/// Used for *realization* checks: an implementation satisfies `E ⊳ M`
+/// iff it does so against every environment, and the chaos environment
+/// exhibits them all.
+pub fn chaos_environment(
+    name: impl Into<String>,
+    vars: &Vars,
+    outputs: &[VarId],
+) -> ComponentSpec {
+    let name = name.into();
+    let mut builder = ComponentSpec::builder(name.clone()).outputs(outputs.iter().copied());
+    for v in outputs {
+        for value in vars.domain(*v).iter() {
+            builder = builder.action(GuardedAction::new(
+                format!("chaos[{} := {}]", vars.name(*v), value),
+                opentla_kernel::Expr::var(*v)
+                    .ne(opentla_kernel::Expr::con(value.clone())),
+                vec![(*v, opentla_kernel::Expr::con(value.clone()))],
+            ));
+        }
+    }
+    builder.build().expect("chaos environment is well-formed")
+}
+
+/// Checks the safety part of "`system` realizes `E ⊳ M`": on every
+/// reachable behavior of the (closed) `system`, the guarantee must not
+/// be violated unless the assumption was violated *strictly earlier*.
+///
+/// `env` and `sys` are safety-canonical formulas (apply any refinement
+/// mapping first). The check runs a three-state monitor
+/// (`both hold` / `assumption already broken`) in product with the
+/// graph, which is exactly the first-failure comparison `m₀ > n₀`
+/// defining `⊳` (see `opentla-semantics`).
+///
+/// # Errors
+///
+/// [`SpecError`] wrapping a [`CheckError::NotCanonical`]
+/// (via [`SpecError::Check`]) if either formula is not
+/// safety-canonical, or evaluation errors.
+///
+/// [`CheckError::NotCanonical`]: opentla_check::CheckError::NotCanonical
+pub fn check_ag_safety(
+    system: &System,
+    graph: &StateGraph,
+    env: &Formula,
+    sys: &Formula,
+) -> Result<Verdict, SpecError> {
+    let env_sc = safety_canonical(env).ok_or(opentla_check::CheckError::NotCanonical {
+        context: "check_ag_safety (assumption)",
+    })?;
+    let sys_sc = safety_canonical(sys).ok_or(opentla_check::CheckError::NotCanonical {
+        context: "check_ag_safety (guarantee)",
+    })?;
+
+    let first_ok = |sc: &SafetyCanonical, s: &State| -> Result<bool, SpecError> {
+        for p in sc.init.iter().chain(sc.invariants.iter()) {
+            if !p.holds_state(s).map_err(opentla_check::CheckError::from)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+    let step_ok = |sc: &SafetyCanonical, pair: StatePair<'_>| -> Result<bool, SpecError> {
+        for (a, sub) in &sc.boxes {
+            if !opentla_kernel::box_action(a.clone(), sub)
+                .holds_action(pair)
+                .map_err(opentla_check::CheckError::from)?
+            {
+                return Ok(false);
+            }
+        }
+        for p in &sc.invariants {
+            if !p
+                .holds_state(pair.new)
+                .map_err(opentla_check::CheckError::from)?
+            {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+
+    // Monitor state: false = both intact, true = assumption broken.
+    // (Guarantee breaking while the assumption is intact — or on the
+    // same step — is the violation `m₀ ≤ n₀`.)
+    // Key: (graph state, assumption-broken flag); value: BFS parent
+    // (state, flag, action) or None for roots.
+    type MonitorParents = HashMap<(usize, bool), Option<(usize, bool, usize)>>;
+    let mut seen: MonitorParents = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &id in graph.init() {
+        let s = graph.state(id);
+        if !first_ok(&sys_sc, s)? {
+            // m₀ = 1 ≤ n₀ always.
+            return Ok(Verdict::Violated(Counterexample::new(
+                "guarantee's initial condition fails (E ⊳ M requires M to hold \
+                 initially, unconditionally)",
+                vec![s.clone()],
+                vec![None],
+                None,
+            )));
+        }
+        let env_broken = !first_ok(&env_sc, s)?;
+        if seen.insert((id, env_broken), None).is_none() {
+            queue.push_back((id, env_broken));
+        }
+    }
+    while let Some((id, env_broken)) = queue.pop_front() {
+        if env_broken {
+            // No further obligations once the assumption has failed.
+            continue;
+        }
+        let s = graph.state(id);
+        for e in graph.edges(id) {
+            let t = graph.state(e.target);
+            let pair = StatePair::new(s, t);
+            if !step_ok(&sys_sc, pair)? {
+                // Violation: reconstruct the trace through the monitor.
+                let mut rev = vec![(Some(e.action), e.target)];
+                let mut cur = (id, env_broken);
+                loop {
+                    match seen[&cur] {
+                        Some((pid, pflag, action)) => {
+                            rev.push((Some(action), cur.0));
+                            cur = (pid, pflag);
+                        }
+                        None => {
+                            rev.push((None, cur.0));
+                            break;
+                        }
+                    }
+                }
+                rev.reverse();
+                let states = rev.iter().map(|(_, n)| graph.state(*n).clone()).collect();
+                let actions = rev
+                    .iter()
+                    .map(|(a, _)| a.map(|i| system.actions()[i].name().to_string()))
+                    .collect();
+                return Ok(Verdict::Violated(Counterexample::new(
+                    "guarantee violated while the assumption still held \
+                     (or on the same step): E ⊳ M fails",
+                    states,
+                    actions,
+                    None,
+                )));
+            }
+            let next_broken = !step_ok(&env_sc, pair)?;
+            let key = (e.target, next_broken);
+            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(key) {
+                entry.insert(Some((id, env_broken, e.action)));
+                queue.push_back(key);
+            }
+        }
+    }
+    Ok(Verdict::Holds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_product;
+    use opentla_check::{explore, ExploreOptions, Init};
+    use opentla_kernel::{Domain, Expr, Value};
+    use opentla_semantics::{eval, EvalCtx};
+
+    /// The paper's Figure 1 safety instance: output stays 0.
+    fn stays_zero(name: &str, out: VarId, inp: VarId) -> ComponentSpec {
+        ComponentSpec::builder(name)
+            .outputs([out])
+            .inputs([inp])
+            .init(Init::new([(out, Value::Int(0))]))
+            .build()
+            .expect("well-formed")
+    }
+
+    fn copier(name: &str, out: VarId, inp: VarId) -> ComponentSpec {
+        ComponentSpec::builder(name)
+            .outputs([out])
+            .inputs([inp])
+            .init(Init::new([(out, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "copy",
+                Expr::bool(true),
+                vec![(out, Expr::var(inp))],
+            ))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn ag_spec_formula_shape() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let ag = AgSpec::new(stays_zero("M0d", d, c), stays_zero("M0c", c, d)).unwrap();
+        assert_eq!(ag.name(), "M0d ⊳ M0c");
+        assert!(matches!(ag.formula(), Formula::WhilePlus { .. }));
+    }
+
+    #[test]
+    fn env_with_fairness_rejected() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let env = ComponentSpec::builder("env")
+            .outputs([d])
+            .action(GuardedAction::new("a", Expr::bool(true), vec![(d, Expr::int(0))]))
+            .weak_fairness([0])
+            .build()
+            .unwrap();
+        let sys = stays_zero("sys", c, d);
+        assert!(matches!(
+            AgSpec::new(env, sys),
+            Err(SpecError::EnvWithFairness { .. })
+        ));
+    }
+
+    #[test]
+    fn pi_c_realizes_its_ag_spec() {
+        // Π_c (copies d into c) against a chaotic d: realizes
+        // (d stays 0) ⊳ (c stays 0).
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let pi_c = copier("Pi_c", c, d);
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        // Give the chaotic d an initial value so the product is finite
+        // and closed; d starts anywhere.
+        let sys = closed_product(&vars, &[&pi_c, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(graph.len(), 4);
+
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let verdict = check_ag_safety(&sys, &graph, &e, &m).unwrap();
+        assert!(verdict.holds(), "{:?}", verdict.counterexample());
+    }
+
+    #[test]
+    fn eager_process_fails_realization() {
+        // A process that sets c to 1 unconditionally violates the
+        // guarantee before the environment misbehaves.
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let eager = ComponentSpec::builder("eager")
+            .outputs([c])
+            .inputs([d])
+            .init(Init::new([(c, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "spoil",
+                Expr::bool(true),
+                vec![(c, Expr::int(1))],
+            ))
+            .build()
+            .unwrap();
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        let sys = closed_product(&vars, &[&eager, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let verdict = check_ag_safety(&sys, &graph, &e, &m).unwrap();
+        let cx = verdict.counterexample().expect("eager process must fail");
+        // Confirm against the trace semantics: the stutter-extension of
+        // the trace violates E ⊳ M.
+        let lasso = cx.to_lasso();
+        let ctx = EvalCtx::default();
+        let ag = e.while_plus(m);
+        assert!(!eval(&ag, &lasso, &ctx).unwrap());
+    }
+
+    #[test]
+    fn violation_after_env_breaks_is_allowed() {
+        // A process that echoes d into c: when the environment sets
+        // d to 1 (breaking E), c may follow — no violation of E ⊳ M.
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let pi_c = copier("Pi_c", c, d);
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        let sys = closed_product(&vars, &[&pi_c, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        // The graph contains behaviors where d flips to 1 and then c
+        // follows; realization must still hold.
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        assert!(check_ag_safety(&sys, &graph, &e, &m).unwrap().holds());
+    }
+
+    #[test]
+    fn simultaneous_violation_is_caught() {
+        // A process whose single action breaks the guarantee in the
+        // very step that also breaks the assumption... in an
+        // interleaving product a single action cannot change both c and
+        // d (they belong to different components), so emulate it with a
+        // process that owns both.
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let both = ComponentSpec::builder("both")
+            .outputs([c, d])
+            .init(Init::new([(c, Value::Int(0)), (d, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "boom",
+                Expr::bool(true),
+                vec![(c, Expr::int(1)), (d, Expr::int(1))],
+            ))
+            .build()
+            .unwrap();
+        let sys = closed_product(&vars, &[&both]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = Formula::pred(Expr::var(d).eq(Expr::int(0)))
+            .and(Formula::act_box(Expr::bool(false), vec![d]));
+        let m = Formula::pred(Expr::var(c).eq(Expr::int(0)))
+            .and(Formula::act_box(Expr::bool(false), vec![c]));
+        // ⊳ forbids the simultaneous break.
+        let verdict = check_ag_safety(&sys, &graph, &e, &m).unwrap();
+        assert!(!verdict.holds(), "simultaneous violation must be caught");
+    }
+
+    #[test]
+    fn bad_initial_guarantee_is_caught() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let starts_one = ComponentSpec::builder("starts1")
+            .outputs([c])
+            .inputs([d])
+            .init(Init::new([(c, Value::Int(1))]))
+            .build()
+            .unwrap();
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        let sys = closed_product(&vars, &[&starts_one, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let verdict = check_ag_safety(&sys, &graph, &e, &m).unwrap();
+        let cx = verdict.counterexample().expect("bad init");
+        assert!(cx.reason().contains("initial"));
+    }
+
+    #[test]
+    fn realize_safety_api() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let ag = AgSpec::new(stays_zero("E", d, c), stays_zero("M", c, d)).unwrap();
+        // Π_c realizes its own A/G spec...
+        let verdict = ag
+            .realize_safety(&vars, &copier("Pi_c", c, d), &Default::default())
+            .unwrap();
+        assert!(verdict.holds());
+        // ...while an eager spoiler does not.
+        let eager = ComponentSpec::builder("eager")
+            .outputs([c])
+            .inputs([d])
+            .init(Init::new([(c, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "spoil",
+                Expr::bool(true),
+                vec![(c, Expr::int(1))],
+            ))
+            .build()
+            .unwrap();
+        let verdict = ag
+            .realize_safety(&vars, &eager, &Default::default())
+            .unwrap();
+        assert!(!verdict.holds());
+    }
+
+    #[test]
+    fn chaos_environment_reaches_everything() {
+        let mut vars = Vars::new();
+        let d = vars.declare("d", Domain::int_range(0, 2));
+        let chaos = chaos_environment("chaos", &vars, &[d]);
+        // 3 values → 3 setter actions.
+        assert_eq!(chaos.actions().len(), 3);
+        let sys = closed_product(&vars, &[&chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(graph.len(), 3);
+    }
+}

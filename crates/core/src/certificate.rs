@@ -1,0 +1,202 @@
+//! Proof certificates: the audit trail of a rule application.
+
+use opentla_check::Counterexample;
+use opentla_kernel::Vars;
+use std::fmt;
+
+/// How an obligation was discharged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Enforced by construction of the closed product (e.g. the
+    /// disjointness guarantee `G`, or Proposition 1's side condition).
+    Structural,
+    /// Step simulation over the reachable states (safety).
+    Simulation,
+    /// A check over the initial states (Proposition 4's hypothesis).
+    InitialStates,
+    /// Fair-lasso search (liveness).
+    Liveness,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Structural => "structural",
+            Method::Simulation => "simulation",
+            Method::InitialStates => "initial states",
+            Method::Liveness => "liveness",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The status of one proof obligation.
+#[derive(Clone, Debug)]
+pub enum ObligationStatus {
+    /// Discharged.
+    Proved {
+        /// States examined (0 for structural facts).
+        states: usize,
+    },
+    /// Refuted, with a counterexample.
+    Failed(Counterexample),
+}
+
+impl ObligationStatus {
+    /// Whether the obligation was discharged.
+    pub fn proved(&self) -> bool {
+        matches!(self, ObligationStatus::Proved { .. })
+    }
+}
+
+/// One hypothesis of a proof rule, as checked.
+#[derive(Clone, Debug)]
+pub struct Obligation {
+    /// Short identifier, e.g. `"H1[env-of-q1]"` or `"H2a/closure"`.
+    pub id: String,
+    /// What the obligation asserts, in the paper's notation.
+    pub description: String,
+    /// How it was discharged.
+    pub method: Method,
+    /// Whether it was discharged.
+    pub status: ObligationStatus,
+}
+
+/// The result of applying a proof rule: the conclusion plus every
+/// checked hypothesis.
+///
+/// A certificate with [`Certificate::holds`]` == false` is not an
+/// error: it faithfully records which hypothesis failed and why.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The rule applied, e.g. `"Composition Theorem"`.
+    pub rule: String,
+    /// The conclusion, in the paper's notation.
+    pub conclusion: String,
+    /// Every obligation checked, in order.
+    pub obligations: Vec<Obligation>,
+    /// Reachable states of the complete system used to discharge the
+    /// hypotheses.
+    pub product_states: usize,
+    /// Transitions of that system.
+    pub product_edges: usize,
+}
+
+impl Certificate {
+    /// Whether every obligation was discharged — i.e. the conclusion
+    /// is established.
+    pub fn holds(&self) -> bool {
+        self.obligations.iter().all(|o| o.status.proved())
+    }
+
+    /// The first failed obligation, if any.
+    pub fn first_failure(&self) -> Option<&Obligation> {
+        self.obligations.iter().find(|o| !o.status.proved())
+    }
+
+    /// Renders the certificate with variable names (for
+    /// counterexamples).
+    pub fn display<'a>(&'a self, vars: &'a Vars) -> CertificateDisplay<'a> {
+        CertificateDisplay { cert: self, vars }
+    }
+}
+
+/// Helper returned by [`Certificate::display`].
+#[derive(Clone, Copy)]
+pub struct CertificateDisplay<'a> {
+    cert: &'a Certificate,
+    vars: &'a Vars,
+}
+
+impl fmt::Display for CertificateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.cert;
+        writeln!(f, "rule: {}", c.rule)?;
+        writeln!(f, "conclusion: {}", c.conclusion)?;
+        writeln!(
+            f,
+            "complete system: {} states, {} transitions",
+            c.product_states, c.product_edges
+        )?;
+        writeln!(
+            f,
+            "verdict: {}",
+            if c.holds() { "PROVED" } else { "FAILED" }
+        )?;
+        for o in &c.obligations {
+            match &o.status {
+                ObligationStatus::Proved { states } => {
+                    writeln!(
+                        f,
+                        "  ✓ {} [{}; {} states]  {}",
+                        o.id, o.method, states, o.description
+                    )?;
+                }
+                ObligationStatus::Failed(cx) => {
+                    writeln!(f, "  ✗ {} [{}]  {}", o.id, o.method, o.description)?;
+                    write!(f, "{}", cx.display(self.vars))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opentla_kernel::{Domain, State, Value};
+
+    fn proved(id: &str) -> Obligation {
+        Obligation {
+            id: id.into(),
+            description: "test".into(),
+            method: Method::Simulation,
+            status: ObligationStatus::Proved { states: 7 },
+        }
+    }
+
+    #[test]
+    fn holds_iff_all_proved() {
+        let mut cert = Certificate {
+            rule: "Composition Theorem".into(),
+            conclusion: "E ⊳ M".into(),
+            obligations: vec![proved("H1"), proved("H2a")],
+            product_states: 10,
+            product_edges: 20,
+        };
+        assert!(cert.holds());
+        assert!(cert.first_failure().is_none());
+        cert.obligations.push(Obligation {
+            id: "H2b".into(),
+            description: "liveness".into(),
+            method: Method::Liveness,
+            status: ObligationStatus::Failed(Counterexample::new(
+                "starved",
+                vec![State::new(vec![Value::Int(0)])],
+                vec![None],
+                Some(0),
+            )),
+        });
+        assert!(!cert.holds());
+        assert_eq!(cert.first_failure().unwrap().id, "H2b");
+    }
+
+    #[test]
+    fn display_includes_everything() {
+        let mut vars = Vars::new();
+        vars.declare("x", Domain::bits());
+        let cert = Certificate {
+            rule: "Corollary".into(),
+            conclusion: "(E ⊳ M') ⇒ (E ⊳ M)".into(),
+            obligations: vec![proved("a")],
+            product_states: 3,
+            product_edges: 4,
+        };
+        let text = cert.display(&vars).to_string();
+        assert!(text.contains("Corollary"));
+        assert!(text.contains("PROVED"));
+        assert!(text.contains("3 states"));
+        assert!(text.contains('✓'));
+    }
+}

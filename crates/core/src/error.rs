@@ -1,0 +1,217 @@
+//! Error type for the assumption/guarantee calculus.
+
+use opentla_check::CheckError;
+use opentla_kernel::{KernelError, VarId};
+use std::fmt;
+
+/// An error raised while building specifications or applying the proof
+/// rules. These are *engine* errors — a hypothesis that simply fails to
+/// hold is reported inside a
+/// [`Certificate`](crate::Certificate) instead.
+#[derive(Debug)]
+pub enum SpecError {
+    /// A variable was declared in more than one role (output, internal,
+    /// input) of the same component.
+    OverlappingRoles {
+        /// The component.
+        component: String,
+        /// The offending variable.
+        var: VarId,
+    },
+    /// An action updates a variable the component does not own —
+    /// violating the interleaving condition `N ⇒ (e' = e)`.
+    ForeignUpdate {
+        /// The component.
+        component: String,
+        /// The action.
+        action: String,
+        /// The variable it illegally updates.
+        var: VarId,
+    },
+    /// The initial condition constrains a variable the component does
+    /// not own.
+    ForeignInit {
+        /// The component.
+        component: String,
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A fairness condition refers to an action index out of range.
+    FairnessOutOfRange {
+        /// The component.
+        component: String,
+        /// The offending index.
+        index: usize,
+    },
+    /// An environment assumption carries fairness conditions; the
+    /// composition rules require assumptions to be safety properties
+    /// (Section 3 of the paper).
+    EnvWithFairness {
+        /// The offending component.
+        component: String,
+    },
+    /// Two composed components both own the same variable.
+    DuplicateOwnership {
+        /// The variable owned twice.
+        var: VarId,
+        /// The two owners.
+        owners: (String, String),
+    },
+    /// An input of a component is produced by no other component in a
+    /// closed product.
+    NotClosed {
+        /// The component with the dangling input.
+        component: String,
+        /// The unproduced input.
+        var: VarId,
+    },
+    /// The refinement mapping does not cover exactly the target's
+    /// internal variables.
+    MappingDomain {
+        /// A variable that is mapped but not internal, or internal but
+        /// not mapped.
+        var: VarId,
+    },
+    /// An assumption component has internal variables but no witness
+    /// mapping was supplied for checking hypothesis 1.
+    AssumptionNeedsWitness {
+        /// The assumption component.
+        component: String,
+    },
+    /// A hidden (internal) variable of one component occurs free in
+    /// another component or in the target — violating the hypothesis of
+    /// Proposition 2.
+    HiddenVarLeak {
+        /// The component whose internal variable leaks.
+        component: String,
+        /// The leaking variable.
+        var: VarId,
+        /// Where it occurs.
+        leaked_into: String,
+    },
+    /// The underlying model checker failed.
+    Check(CheckError),
+    /// A syntactic transformation failed.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::OverlappingRoles { component, var } => write!(
+                f,
+                "component {component}: variable #{} declared in two roles",
+                var.index()
+            ),
+            SpecError::ForeignUpdate {
+                component,
+                action,
+                var,
+            } => write!(
+                f,
+                "component {component}: action {action} updates foreign variable #{} \
+                 (the interleaving condition N ⇒ (e' = e) would fail)",
+                var.index()
+            ),
+            SpecError::ForeignInit { component, var } => write!(
+                f,
+                "component {component}: initial condition constrains foreign variable #{}",
+                var.index()
+            ),
+            SpecError::FairnessOutOfRange { component, index } => write!(
+                f,
+                "component {component}: fairness refers to action index {index} out of range"
+            ),
+            SpecError::EnvWithFairness { component } => write!(
+                f,
+                "assumption {component} has fairness conditions; environment \
+                 assumptions must be safety properties"
+            ),
+            SpecError::DuplicateOwnership { var, owners } => write!(
+                f,
+                "variable #{} owned by both {} and {}",
+                var.index(),
+                owners.0,
+                owners.1
+            ),
+            SpecError::NotClosed { component, var } => write!(
+                f,
+                "input #{} of component {component} is produced by no component",
+                var.index()
+            ),
+            SpecError::MappingDomain { var } => write!(
+                f,
+                "refinement mapping must cover exactly the internal variables; \
+                 variable #{} is mismatched",
+                var.index()
+            ),
+            SpecError::AssumptionNeedsWitness { component } => write!(
+                f,
+                "assumption {component} has internal variables; supply a witness mapping"
+            ),
+            SpecError::HiddenVarLeak {
+                component,
+                var,
+                leaked_into,
+            } => write!(
+                f,
+                "internal variable #{} of {component} occurs free in {leaked_into}; \
+                 Proposition 2 requires hidden variables to be private",
+                var.index()
+            ),
+            SpecError::Check(e) => write!(f, "{e}"),
+            SpecError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Check(e) => Some(e),
+            SpecError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckError> for SpecError {
+    fn from(e: CheckError) -> Self {
+        SpecError::Check(e)
+    }
+}
+
+impl From<KernelError> for SpecError {
+    fn from(e: KernelError) -> Self {
+        SpecError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_paper_conditions() {
+        let e = SpecError::EnvWithFairness {
+            component: "env".into(),
+        };
+        assert!(e.to_string().contains("safety"));
+        let e = SpecError::ForeignUpdate {
+            component: "c".into(),
+            action: "a".into(),
+            var: unsafe_var(3),
+        };
+        assert!(e.to_string().contains("interleaving"));
+    }
+
+    fn unsafe_var(i: usize) -> VarId {
+        // Build a VarId by declaring enough variables.
+        let mut vars = opentla_kernel::Vars::new();
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(vars.declare(format!("v{k}"), opentla_kernel::Domain::bits()));
+        }
+        last.expect("declared at least one")
+    }
+}

@@ -1,0 +1,89 @@
+//! Action helpers: `UNCHANGED v`, `[A]_v`, and enabledness support.
+
+use crate::{Expr, VarId, VarSet};
+
+/// The action `UNCHANGED ⟨v1, …, vk⟩`, i.e. `∧ vi' = vi`.
+///
+/// # Example
+///
+/// ```
+/// use opentla_kernel::{Vars, Domain, State, StatePair, Value, unchanged};
+/// let mut vars = Vars::new();
+/// let x = vars.declare("x", Domain::bits());
+/// let s = State::new(vec![Value::Int(0)]);
+/// assert!(unchanged(&[x]).holds_action(StatePair::stutter(&s)).unwrap());
+/// ```
+pub fn unchanged(vars: &[VarId]) -> Expr {
+    Expr::all(
+        vars.iter()
+            .map(|v| Expr::prime(*v).eq(Expr::var(*v))),
+    )
+}
+
+/// The action `[A]_v ≜ A ∨ (v' = v)`: an `A` step or a step leaving the
+/// tuple `v` unchanged.
+pub fn box_action(action: Expr, sub: &[VarId]) -> Expr {
+    Expr::any([action, unchanged(sub)])
+}
+
+/// The variables whose next-state values matter for deciding whether an
+/// action is enabled: its primed variables.
+///
+/// `Enabled A` holds in state `s` iff some state `t` makes `⟨s,t⟩` an
+/// `A` step; since `A` only constrains the primes it mentions, a
+/// witness search may vary exactly these variables and copy the rest.
+pub fn enabled_vars(action: &Expr) -> VarSet {
+    action.primed_vars()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, State, StatePair, Value, Vars};
+
+    fn setup() -> (Vars, VarId, VarId) {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::bits());
+        let y = vars.declare("y", Domain::bits());
+        (vars, x, y)
+    }
+
+    #[test]
+    fn unchanged_tuple() {
+        let (_, x, y) = setup();
+        let s = State::new(vec![Value::Int(0), Value::Int(0)]);
+        let t = s.with(&[(y, Value::Int(1))]);
+        assert!(unchanged(&[x]).holds_action(StatePair::new(&s, &t)).unwrap());
+        assert!(!unchanged(&[x, y])
+            .holds_action(StatePair::new(&s, &t))
+            .unwrap());
+        // UNCHANGED of the empty tuple is TRUE.
+        assert!(unchanged(&[]).holds_action(StatePair::new(&s, &t)).unwrap());
+    }
+
+    #[test]
+    fn boxed_action_allows_stutter() {
+        let (_, x, y) = setup();
+        let a = Expr::prime(x).eq(Expr::int(1)).and(Expr::var(x).eq(Expr::int(0)));
+        let boxed = box_action(a, &[x]);
+        let s = State::new(vec![Value::Int(0), Value::Int(0)]);
+        let t = s.with(&[(x, Value::Int(1))]);
+        let u = s.with(&[(y, Value::Int(1))]); // x-stutter
+        assert!(boxed.holds_action(StatePair::new(&s, &t)).unwrap());
+        assert!(boxed.holds_action(StatePair::new(&s, &u)).unwrap());
+        assert!(boxed.holds_action(StatePair::stutter(&s)).unwrap());
+        // A non-A step that changes x violates [A]_x: here x goes 1 -> 0
+        // but A requires x = 0 before the step... build it from t.
+        let back = t.with(&[(x, Value::Int(0))]);
+        assert!(!boxed.holds_action(StatePair::new(&t, &back)).unwrap());
+    }
+
+    #[test]
+    fn enabled_vars_are_the_primes() {
+        let (_, x, y) = setup();
+        let a = Expr::prime(x).eq(Expr::var(y));
+        let vs = enabled_vars(&a);
+        assert!(vs.contains(x));
+        assert!(!vs.contains(y));
+    }
+}

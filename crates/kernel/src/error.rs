@@ -1,0 +1,139 @@
+//! Error types for the kernel.
+
+use crate::{Value, VarId};
+use std::fmt;
+
+/// An error raised while evaluating an expression on states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable index was out of range for the state it was evaluated
+    /// against (states and expressions built from different registries).
+    UnboundVar {
+        /// The offending variable.
+        var: VarId,
+        /// Number of variables the state assigns.
+        state_len: usize,
+    },
+    /// A primed variable occurred where only a state function is legal
+    /// (e.g. inside an initial predicate or a `WF` subscript).
+    PrimeInStateContext {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// An operator was applied to a value of the wrong kind.
+    TypeMismatch {
+        /// Operator name, e.g. `"+"` or `"Head"`.
+        op: &'static str,
+        /// The offending value.
+        value: Value,
+    },
+    /// `Head` or `Tail` of an empty sequence.
+    EmptySeq {
+        /// Operator name.
+        op: &'static str,
+    },
+    /// Integer overflow in arithmetic.
+    Overflow {
+        /// Operator name.
+        op: &'static str,
+    },
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar { var, state_len } => write!(
+                f,
+                "variable #{} is unbound in a state of {} variables",
+                var.index(),
+                state_len
+            ),
+            EvalError::PrimeInStateContext { var } => write!(
+                f,
+                "primed variable #{} used where a state function is required",
+                var.index()
+            ),
+            EvalError::TypeMismatch { op, value } => {
+                write!(f, "operator {op} applied to {} value {value}", value.kind())
+            }
+            EvalError::EmptySeq { op } => write!(f, "{op} applied to an empty sequence"),
+            EvalError::Overflow { op } => write!(f, "integer overflow in {op}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A structural error raised while building or transforming syntax
+/// (substitution capture, malformed canonical forms, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A substitution would capture a bound (hidden) variable.
+    Capture {
+        /// The bound variable that would be captured.
+        bound: VarId,
+    },
+    /// A substitution maps a variable to an expression that already
+    /// contains primes, so priming it again is meaningless.
+    DoublePrime {
+        /// The variable being substituted.
+        var: VarId,
+    },
+    /// An evaluation error surfaced during a syntactic check.
+    Eval(EvalError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Capture { bound } => write!(
+                f,
+                "substitution would capture hidden variable #{}",
+                bound.index()
+            ),
+            KernelError::DoublePrime { var } => write!(
+                f,
+                "substituting variable #{} with a primed expression inside a prime",
+                var.index()
+            ),
+            KernelError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for KernelError {
+    fn from(e: EvalError) -> Self {
+        KernelError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::TypeMismatch {
+            op: "+",
+            value: Value::Bool(true),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('+') && msg.contains("bool"), "{msg}");
+
+        let k = KernelError::from(e.clone());
+        assert!(k.to_string().contains("bool"));
+        assert!(std::error::Error::source(&k).is_some());
+    }
+}

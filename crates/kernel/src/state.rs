@@ -1,0 +1,217 @@
+//! States: assignments of values to variables.
+
+use crate::{Value, VarId, Vars};
+use std::fmt;
+use std::sync::Arc;
+
+/// A state — an assignment of a [`Value`] to every declared variable.
+///
+/// States are immutable and cheap to clone (the payload is shared via
+/// [`Arc`]); updated copies are produced with [`State::with`].
+///
+/// # Example
+///
+/// ```
+/// use opentla_kernel::{Vars, Domain, State, Value};
+/// let mut vars = Vars::new();
+/// let x = vars.declare("x", Domain::bits());
+/// let y = vars.declare("y", Domain::bits());
+/// let s = State::new(vec![Value::Int(0), Value::Int(1)]);
+/// assert_eq!(s.get(x), &Value::Int(0));
+/// let t = s.with(&[(x, Value::Int(1))]);
+/// assert_eq!(t.get(x), &Value::Int(1));
+/// assert_eq!(t.get(y), &Value::Int(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    values: Arc<[Value]>,
+}
+
+impl State {
+    /// Builds a state from the values of all variables, in declaration
+    /// order.
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
+        State {
+            values: values.into(),
+        }
+    }
+
+    /// The value of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this state; use
+    /// [`State::try_get`] for a fallible lookup.
+    pub fn get(&self, v: VarId) -> &Value {
+        &self.values[v.index()]
+    }
+
+    /// The value of variable `v`, or `None` if out of range.
+    pub fn try_get(&self, v: VarId) -> Option<&Value> {
+        self.values.get(v.index())
+    }
+
+    /// Number of variables this state assigns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state assigns no variables (a closed system over an
+    /// empty registry).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in declaration order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A copy of this state with the listed variables reassigned.
+    pub fn with(&self, updates: &[(VarId, Value)]) -> State {
+        let mut values: Vec<Value> = self.values.to_vec();
+        for (v, val) in updates {
+            values[v.index()] = val.clone();
+        }
+        State::new(values)
+    }
+
+    /// Whether the listed variables have equal values in `self` and
+    /// `other` — the "`v` unchanged" test for a step.
+    pub fn agrees_with(&self, other: &State, vars: &[VarId]) -> bool {
+        vars.iter().all(|v| self.get(*v) == other.get(*v))
+    }
+
+    /// Renders the state with variable names from `vars`.
+    pub fn display<'a>(&'a self, vars: &'a Vars) -> StateDisplay<'a> {
+        StateDisplay { state: self, vars }
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Helper returned by [`State::display`]; renders `x=0 y=1 …`.
+#[derive(Clone, Copy)]
+pub struct StateDisplay<'a> {
+    state: &'a State,
+    vars: &'a Vars,
+}
+
+impl fmt::Display for StateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in self.vars.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match self.state.try_get(v) {
+                Some(val) => write!(f, "{}={}", self.vars.name(v), val)?,
+                None => write!(f, "{}=?", self.vars.name(v))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for StateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A pair of consecutive states — what an action is evaluated against.
+///
+/// `old` is the unprimed state, `new` the primed one.
+#[derive(Clone, Copy, Debug)]
+pub struct StatePair<'a> {
+    /// The unprimed (current) state.
+    pub old: &'a State,
+    /// The primed (next) state.
+    pub new: &'a State,
+}
+
+impl<'a> StatePair<'a> {
+    /// Builds a pair from two states.
+    pub fn new(old: &'a State, new: &'a State) -> Self {
+        StatePair { old, new }
+    }
+
+    /// The stuttering pair `⟨s, s⟩`.
+    pub fn stutter(s: &'a State) -> Self {
+        StatePair { old: s, new: s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    fn three_vars() -> (Vars, VarId, VarId, VarId) {
+        let mut vars = Vars::new();
+        let a = vars.declare("a", Domain::bits());
+        let b = vars.declare("b", Domain::bits());
+        let c = vars.declare("c", Domain::bits());
+        (vars, a, b, c)
+    }
+
+    #[test]
+    fn with_updates_only_listed_vars() {
+        let (_, a, b, c) = three_vars();
+        let s = State::new(vec![Value::Int(0), Value::Int(0), Value::Int(0)]);
+        let t = s.with(&[(b, Value::Int(1))]);
+        assert_eq!(t.get(a), &Value::Int(0));
+        assert_eq!(t.get(b), &Value::Int(1));
+        assert_eq!(t.get(c), &Value::Int(0));
+        // Original untouched.
+        assert_eq!(s.get(b), &Value::Int(0));
+    }
+
+    #[test]
+    fn agrees_with_checks_subtuple() {
+        let (_, a, b, c) = three_vars();
+        let s = State::new(vec![Value::Int(0), Value::Int(0), Value::Int(0)]);
+        let t = s.with(&[(c, Value::Int(1))]);
+        assert!(s.agrees_with(&t, &[a, b]));
+        assert!(!s.agrees_with(&t, &[a, c]));
+        assert!(s.agrees_with(&t, &[]));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (vars, _, _, _) = three_vars();
+        let s = State::new(vec![Value::Int(0), Value::Int(1), Value::Int(0)]);
+        assert_eq!(s.display(&vars).to_string(), "a=0 b=1 c=0");
+    }
+
+    #[test]
+    fn try_get_out_of_range() {
+        let (_, _, _, c) = three_vars();
+        let short = State::new(vec![Value::Int(0)]);
+        assert_eq!(short.try_get(c), None);
+        assert_eq!(short.len(), 1);
+        assert!(!short.is_empty());
+    }
+
+    #[test]
+    fn states_hashable_and_equal_by_value() {
+        let s = State::new(vec![Value::Int(0)]);
+        let t = State::new(vec![Value::Int(0)]);
+        assert_eq!(s, t);
+        let mut set = std::collections::HashSet::new();
+        set.insert(s);
+        assert!(set.contains(&t));
+    }
+}

@@ -1,0 +1,261 @@
+//! Data values assigned to variables by states.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A TLA data value.
+///
+/// The fragment of TLA mechanized here needs booleans, integers,
+/// strings, tuples, and finite sequences. Sequences and tuples are both
+/// ordered collections but are kept distinct so that a channel triple
+/// `⟨c.sig, c.ack, c.val⟩` can never be confused with a queue content
+/// sequence — the paper's queue example relies on both.
+///
+/// `Value` is cheap to clone: compound values share their contents via
+/// [`Arc`].
+///
+/// # Example
+///
+/// ```
+/// use opentla_kernel::Value;
+/// let q = Value::seq(vec![Value::Int(37), Value::Int(4)]);
+/// assert_eq!(q.len().unwrap(), 2);
+/// assert_eq!(q.head().unwrap(), Value::Int(37));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A (bounded, machine-width) integer.
+    Int(i64),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A tuple `⟨v1, …, vk⟩`.
+    Tuple(Arc<[Value]>),
+    /// A finite sequence `⟨v1, …, vk⟩` (the paper's `ρ`).
+    Seq(Arc<[Value]>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds a tuple value from its components.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Builds a sequence value from its elements.
+    pub fn seq(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Seq(items.into_iter().collect())
+    }
+
+    /// The empty sequence `⟨⟩`.
+    pub fn empty_seq() -> Self {
+        Value::Seq(Arc::from([]))
+    }
+
+    /// Returns the boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements, if this is a sequence or tuple.
+    pub fn as_items(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) | Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Length of a sequence or tuple (the paper's `|ρ|`).
+    pub fn len(&self) -> Option<usize> {
+        self.as_items().map(<[Value]>::len)
+    }
+
+    /// Whether this is a sequence or tuple with no elements.
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
+    /// `Head(ρ)`: the first element of a nonempty sequence or tuple.
+    pub fn head(&self) -> Option<Value> {
+        self.as_items().and_then(<[Value]>::first).cloned()
+    }
+
+    /// `Tail(ρ)`: everything but the first element of a nonempty
+    /// sequence; the result is a sequence.
+    pub fn tail(&self) -> Option<Value> {
+        let items = self.as_items()?;
+        if items.is_empty() {
+            None
+        } else {
+            Some(Value::Seq(items[1..].iter().cloned().collect()))
+        }
+    }
+
+    /// `ρ ∘ τ`: concatenation of two sequences (or tuples, yielding a
+    /// sequence).
+    pub fn concat(&self, other: &Value) -> Option<Value> {
+        let a = self.as_items()?;
+        let b = other.as_items()?;
+        Some(Value::Seq(a.iter().chain(b.iter()).cloned().collect()))
+    }
+
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Tuple(_) => "tuple",
+            Value::Seq(_) => "sequence",
+        }
+    }
+}
+
+impl Default for Value {
+    /// The default value is `FALSE`; it exists so containers of values
+    /// can be built incrementally, not because `FALSE` is distinguished.
+    fn default() -> Self {
+        Value::Bool(false)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, items: &[Value]) -> fmt::Result {
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tuple(items) => {
+                write!(f, "⟨")?;
+                list(f, items)?;
+                write!(f, "⟩")
+            }
+            Value::Seq(items) => {
+                write!(f, "«")?;
+                list(f, items)?;
+                write!(f, "»")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_ops_match_paper_notation() {
+        let rho = Value::seq(vec![Value::Int(37), Value::Int(4), Value::Int(19)]);
+        assert_eq!(rho.len(), Some(3));
+        assert_eq!(rho.head(), Some(Value::Int(37)));
+        assert_eq!(
+            rho.tail(),
+            Some(Value::seq(vec![Value::Int(4), Value::Int(19)]))
+        );
+        let tau = Value::seq(vec![Value::Int(8)]);
+        assert_eq!(
+            rho.concat(&tau),
+            Some(Value::seq(vec![
+                Value::Int(37),
+                Value::Int(4),
+                Value::Int(19),
+                Value::Int(8)
+            ]))
+        );
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let e = Value::empty_seq();
+        assert_eq!(e.len(), Some(0));
+        assert_eq!(e.is_empty(), Some(true));
+        assert_eq!(e.head(), None);
+        assert_eq!(e.tail(), None);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(5).as_bool(), None);
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Int(3).len(), None);
+    }
+
+    #[test]
+    fn tuple_vs_seq_distinct() {
+        let t = Value::tuple(vec![Value::Int(1)]);
+        let s = Value::seq(vec![Value::Int(1)]);
+        assert_ne!(t, s);
+        // But both support the sequence accessors.
+        assert_eq!(t.head(), s.head());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Value::tuple(vec![Value::Int(0), Value::Int(1)]).to_string(),
+            "⟨0, 1⟩"
+        );
+        assert_eq!(Value::empty_seq().to_string(), "«»");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+    }
+}

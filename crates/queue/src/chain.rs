@@ -1,0 +1,241 @@
+//! `k` queues in series — the natural scale-out of the paper's
+//! double-queue example.
+//!
+//! The appendix composes two open queues; nothing in the Composition
+//! Theorem is specific to two components, so this module builds a chain
+//! of `k` queues `c₀ → c₁ → … → c_k` (with `c₀ = i` and `c_k = o`) and
+//! proves that it implements a single queue of capacity
+//! `k·N + (k − 1)` — each middle channel contributes one in-flight
+//! slot. This is the workload for the composition-scaling benchmark.
+
+use crate::{env_component, queue_component, Channel, FairnessStyle};
+use opentla::{
+    closed_product, compose, AgSpec, Certificate, ComponentSpec, CompositionOptions,
+    CompositionProblem, SpecError,
+};
+use opentla_check::System;
+use opentla_kernel::{Domain, Expr, Substitution, VarId, Vars};
+
+/// A chain of `k` open queues and the machinery to compose them.
+#[derive(Clone, Debug)]
+pub struct QueueChain {
+    vars: Vars,
+    channels: Vec<Channel>,
+    qs: Vec<VarId>,
+    q_big: VarId,
+    queues: Vec<ComponentSpec>,
+    envs: Vec<ComponentSpec>,
+    env: ComponentSpec,
+    big_queue: ComponentSpec,
+    capacity: usize,
+}
+
+impl QueueChain {
+    /// Builds a chain of `k` queues, each of capacity `N = capacity`,
+    /// over `{0, …, num_values − 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`, `capacity`, or `num_values` is zero.
+    pub fn new(k: usize, capacity: usize, num_values: i64, style: FairnessStyle) -> QueueChain {
+        assert!(k > 0, "need at least one queue");
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(num_values > 0, "need at least one value");
+        let mut vars = Vars::new();
+        let values = Domain::int_range(0, num_values - 1);
+        let channels: Vec<Channel> = (0..=k)
+            .map(|j| {
+                let name = match j {
+                    0 => "i".to_string(),
+                    j if j == k => "o".to_string(),
+                    j => format!("z{j}"),
+                };
+                Channel::declare(&mut vars, name, &values)
+            })
+            .collect();
+        let qs: Vec<VarId> = (1..=k)
+            .map(|j| vars.declare(format!("q{j}"), Domain::seqs_up_to(&values, capacity)))
+            .collect();
+        let big_capacity = k * capacity + (k - 1);
+        let q_big = vars.declare("q_big", Domain::seqs_up_to(&values, big_capacity));
+
+        let queues: Vec<ComponentSpec> = (0..k)
+            .map(|j| {
+                queue_component(
+                    format!("QM[{}]", j + 1),
+                    &channels[j],
+                    &channels[j + 1],
+                    qs[j],
+                    capacity,
+                    style,
+                )
+                .expect("queue is well-formed")
+            })
+            .collect();
+        let envs: Vec<ComponentSpec> = (0..k)
+            .map(|j| {
+                env_component(
+                    format!("QE[{}]", j + 1),
+                    &channels[j],
+                    &channels[j + 1],
+                    &values,
+                )
+                .expect("env is well-formed")
+            })
+            .collect();
+        let env = env_component("QE", &channels[0], &channels[k], &values)
+            .expect("outer env is well-formed");
+        let big_queue = queue_component(
+            "QM[big]",
+            &channels[0],
+            &channels[k],
+            q_big,
+            big_capacity,
+            style,
+        )
+        .expect("big queue is well-formed");
+
+        QueueChain {
+            vars,
+            channels,
+            qs,
+            q_big,
+            queues,
+            envs,
+            env,
+            big_queue,
+            capacity,
+        }
+    }
+
+    /// The variable registry.
+    pub fn vars(&self) -> &Vars {
+        &self.vars
+    }
+
+    /// Number of queues in the chain.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Always `false`: chains have at least one queue.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The channels `c₀ … c_k`.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The capacity of the implemented single queue,
+    /// `k·N + (k − 1)`.
+    pub fn big_capacity(&self) -> usize {
+        self.len() * self.capacity + (self.len() - 1)
+    }
+
+    /// The abstract queue's content variable.
+    pub fn q_big(&self) -> VarId {
+        self.q_big
+    }
+
+    /// The refinement mapping
+    /// `q̄ ↦ q_k ∘ mid(c_{k-1}) ∘ … ∘ mid(c₁) ∘ q₁`.
+    pub fn refinement_mapping(&self) -> Substitution {
+        let k = self.len();
+        let mut expr = Expr::var(self.qs[k - 1]);
+        for j in (0..k - 1).rev() {
+            expr = expr
+                .concat(self.channels[j + 1].in_flight())
+                .concat(Expr::var(self.qs[j]));
+        }
+        Substitution::new([(self.q_big, expr)])
+    }
+
+    /// The complete chained system (environment plus all queues).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the components built here.
+    pub fn complete_system(&self) -> Result<System, SpecError> {
+        let mut members: Vec<&ComponentSpec> = vec![&self.env];
+        members.extend(self.queues.iter());
+        closed_product(&self.vars, &members)
+    }
+
+    /// Proves, via the Composition Theorem, that the chain of open
+    /// queues implements the single `k·N + (k−1)`-element open queue:
+    /// `G ∧ ∧_j (QE[j] ⊳ QM[j]) ⇒ (QE ⊳ QM[big])`.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors only; failing hypotheses land in the
+    /// certificate.
+    pub fn prove_composition(
+        &self,
+        options: &CompositionOptions,
+    ) -> Result<Certificate, SpecError> {
+        let ags: Vec<AgSpec> = self
+            .queues
+            .iter()
+            .zip(&self.envs)
+            .map(|(qm, qe)| AgSpec::new(qe.clone(), qm.clone()))
+            .collect::<Result<_, _>>()?;
+        let target = AgSpec::new(self.env.clone(), self.big_queue.clone())?;
+        let problem = CompositionProblem {
+            vars: &self.vars,
+            components: ags.iter().collect(),
+            target: &target,
+            mapping: self.refinement_mapping(),
+        };
+        compose(&problem, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opentla_check::{check_invariant, explore, ExploreOptions};
+
+    #[test]
+    fn chain_of_one_is_a_single_queue() {
+        let chain = QueueChain::new(1, 1, 2, FairnessStyle::Joint);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.big_capacity(), 1);
+        let cert = chain
+            .prove_composition(&CompositionOptions::default())
+            .unwrap();
+        assert!(cert.holds(), "{}", cert.display(chain.vars()));
+    }
+
+    #[test]
+    fn chain_capacity_invariant() {
+        let chain = QueueChain::new(3, 1, 2, FairnessStyle::Joint);
+        assert_eq!(chain.big_capacity(), 5);
+        let sys = chain.complete_system().unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let mapping = chain.refinement_mapping();
+        let q_bar = mapping.get(chain.q_big()).unwrap().clone();
+        let inv = q_bar.clone().len().le(Expr::int(5));
+        assert!(check_invariant(&sys, &graph, &inv).unwrap().holds());
+        // And the bound is tight: length 5 is reachable.
+        let tight = q_bar.len().lt(Expr::int(5));
+        assert!(!check_invariant(&sys, &graph, &tight).unwrap().holds());
+    }
+
+    #[test]
+    fn chain_of_three_composes() {
+        let chain = QueueChain::new(3, 1, 2, FairnessStyle::Joint);
+        let cert = chain
+            .prove_composition(&CompositionOptions::default())
+            .unwrap();
+        assert!(cert.holds(), "{}", cert.display(chain.vars()));
+        // Three H1 obligations, one per queue assumption.
+        let h1s = cert
+            .obligations
+            .iter()
+            .filter(|o| o.id.starts_with("H1"))
+            .count();
+        assert_eq!(h1s, 3);
+    }
+}

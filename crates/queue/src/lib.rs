@@ -1,0 +1,46 @@
+//! # opentla-queue
+//!
+//! The queue example from the appendix of *Open Systems in TLA*
+//! (Abadi & Lamport, PODC 1994), fully parameterized and
+//! machine-checked:
+//!
+//! * [`Channel`] — the two-phase handshake protocol of Figure 2;
+//! * [`queue_component`] / [`env_component`] — the `N`-element queue
+//!   process of Figure 4 and its environment, as canonical
+//!   [`ComponentSpec`](opentla::ComponentSpec)s (Figures 5–6);
+//! * [`SingleQueue`] — the complete system `CQ` with its invariants
+//!   and liveness properties;
+//! * [`DoubleQueue`] — two queues in series (Figures 7–8), the
+//!   refinement `CDQ ⇒ CQ[dbl]` via the in-flight refinement mapping,
+//!   and the **Figure 9 proof** of
+//!   `G ∧ (QE[1] ⊳ QM[1]) ∧ (QE[2] ⊳ QM[2]) ⇒ (QE[dbl] ⊳ QM[dbl])`
+//!   replayed through the Composition Theorem;
+//! * [`QueueChain`] — the `k`-queues-in-series generalization
+//!   (composition at scale).
+//!
+//! One presentational deviation from the paper, documented here and in
+//! `DESIGN.md`: the paper "arbitrarily considers the initial conditions
+//! on a channel to be part of the sender's initial predicate", which
+//! places `o.ack = 0` inside the queue's `Init_M` although `o.ack` is
+//! an input of the queue. This crate instead assigns each bit's initial
+//! condition to the component that *owns* the bit (the queue initializes
+//! `i.ack` and `o.sig`; the environment initializes `i.sig` and
+//! `o.ack`). The complete-system initial condition — `CInit(i) ∧
+//! CInit(o) ∧ q = ⟨⟩` — is identical; only the bookkeeping differs, and
+//! it lets the library enforce that components constrain only variables
+//! they own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod channel;
+mod components;
+mod double;
+mod single;
+
+pub use chain::QueueChain;
+pub use channel::{handshake_trace, Channel, HandshakeStep};
+pub use components::{env_component, queue_component, FairnessStyle};
+pub use double::DoubleQueue;
+pub use single::SingleQueue;

@@ -1,0 +1,43 @@
+//! # opentla-scenarios
+//!
+//! Ready-made open-system scenarios built on the `opentla`
+//! assumption/guarantee calculus:
+//!
+//! * [`Fig1`] — the two circularly-dependent processes from the
+//!   introduction of *Open Systems in TLA*: the safety instance
+//!   (`M⁰`: "output stays 0"), where the Composition Theorem closes
+//!   the circle, and the liveness instance (`M¹`: "output eventually
+//!   1"), where composition rightly fails;
+//! * [`Mutex`] — a `k`-client arbiter specified assumption/guarantee
+//!   style: clients guarantee request discipline assuming grant
+//!   discipline; the arbiter guarantees mutual exclusion assuming
+//!   request discipline. Weak fairness admits starvation, strong
+//!   fairness excludes it — both machine-checked.
+//! * [`ClockWorld`] — Section 2.3's "law of nature": a monotonic clock
+//!   supplied to the Composition Theorem as a `TRUE ⊳ G` component,
+//!   certifying timestamp monotonicity.
+//! * [`TokenRing`] — `k` nodes over handshake channels in a ring: a
+//!   length-`k` *circular* assumption chain, with token conservation,
+//!   mutual exclusion, and circulation all machine-checked.
+//! * [`AlternatingBit`] — the alternating-bit protocol as four open
+//!   components whose four-cycle of wire-discipline assumptions the
+//!   Composition Theorem discharges, certifying reliable in-order
+//!   delivery.
+//!
+//! These are used by the runnable examples, the integration tests, and
+//! the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abp;
+mod clock;
+mod fig1;
+mod mutex;
+mod ring;
+
+pub use abp::AlternatingBit;
+pub use clock::ClockWorld;
+pub use fig1::Fig1;
+pub use mutex::{ArbiterFairness, Mutex};
+pub use ring::TokenRing;

@@ -1,0 +1,61 @@
+//! # opentla-semantics
+//!
+//! Executable trace semantics for the TLA fragment of *Open Systems in
+//! TLA* (Abadi & Lamport, PODC 1994).
+//!
+//! A TLA formula is true or false of an infinite behavior. This crate
+//! makes that definition executable for **lasso** (ultimately periodic)
+//! behaviors — the class of behaviors that finite-state counterexamples
+//! take — and for finite prefixes:
+//!
+//! * [`Lasso`] — an ultimately periodic behavior `s₀ … s_{l-1} (s_l …
+//!   s_{k-1})^ω`;
+//! * [`eval`] — exact evaluation of every operator of the fragment on a
+//!   lasso, including the paper's `⊳`, `+v`, `⊥`, and `C`;
+//! * [`prefix_sat`] — prefix satisfaction ("the finite behavior ρ can
+//!   be extended to an infinite behavior satisfying F"), exact for
+//!   safety-canonical formulas and via bounded search otherwise;
+//! * [`Universe`] — a finite universe of states, needed to decide
+//!   `Enabled` (for `WF`/`SF`), `∃` witnesses, and bounded extension
+//!   search.
+//!
+//! The semantic evaluator is the *oracle* of the workspace: the
+//! syntactic proof rules in the `opentla` crate are property-tested
+//! against it.
+//!
+//! # Example
+//!
+//! ```
+//! use opentla_kernel::{Vars, Domain, Expr, Formula, State, Value};
+//! use opentla_semantics::{Lasso, eval, EvalCtx};
+//!
+//! let mut vars = Vars::new();
+//! let x = vars.declare("x", Domain::bits());
+//! let s0 = State::new(vec![Value::Int(0)]);
+//! let s1 = State::new(vec![Value::Int(1)]);
+//! // The behavior 0, 1, 1, 1, … satisfies ◇(x = 1) but not □(x = 1).
+//! let sigma = Lasso::new(vec![s0, s1], 1).unwrap();
+//! let even = Formula::pred(Expr::var(x).eq(Expr::int(1)));
+//! let ctx = EvalCtx::default();
+//! assert!(eval(&even.clone().eventually(), &sigma, &ctx).unwrap());
+//! assert!(!eval(&even.always(), &sigma, &ctx).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod canonical;
+mod error;
+mod eval;
+mod prefix;
+mod random;
+mod universe;
+
+pub use behavior::Lasso;
+pub use canonical::{safety_canonical, SafetyCanonical};
+pub use error::SemanticsError;
+pub use eval::{eval, EvalCtx};
+pub use prefix::{first_failing_prefix, prefix_sat};
+pub use random::{all_lassos, random_lasso, random_state};
+pub use universe::Universe;

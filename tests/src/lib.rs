@@ -1,0 +1,13 @@
+//! Integration-test helpers shared by the workspace-level test suite.
+//!
+//! The actual tests live under `tests/tests/`; this library only hosts
+//! small utilities they share.
+
+/// Asserts that a [`Result`]-like verdict is positive, printing the full
+/// diagnostic on failure.
+pub fn expect_holds<T: std::fmt::Debug, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("expected the property to hold, but: {e}"),
+    }
+}

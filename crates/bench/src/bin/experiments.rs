@@ -4,8 +4,8 @@
 //! Run with `cargo run --release -p opentla-bench --bin experiments`.
 
 use opentla::{
-    chaos_environment, check_ag_safety, closed_product, compose, CompositionOptions,
-    CompositionProblem,
+    chaos_environment, check_ag_safety, check_ag_safety_diagnosed, closed_product, compose,
+    escalate, Budget, CompositionOptions, CompositionProblem, Outcome,
 };
 use opentla_bench::{explore_all, handshake_system, ms, row};
 use opentla_check::{check_invariant, check_liveness, ExploreOptions, LiveTarget};
@@ -25,6 +25,7 @@ fn main() {
     clock();
     ring();
     abp();
+    adversarial();
 }
 
 fn heading(title: &str) {
@@ -378,6 +379,108 @@ fn abp() {
             ])
         );
     }
+}
+
+fn adversarial() {
+    heading("X6 — adversarial faults and governed checking (extension)");
+    println!("| scenario | ⊳ verdict | diagnosis | states | time |");
+    println!("|---|---|---|---|---|");
+
+    // Lossy ABP: in-order delivery is lost, but the receiver's E ⊳ M
+    // survives with the break pinned on the injected fault.
+    let t = Instant::now();
+    let w = AlternatingBit::new(2);
+    let lossy = w.lossy_system().unwrap();
+    let graph = explore_all(&lossy);
+    let report = check_ag_safety_diagnosed(
+        &lossy,
+        &graph,
+        &w.receiver_assumption(),
+        &w.receiver_guarantee(),
+    )
+    .unwrap();
+    let diagnosis = report
+        .env_break
+        .as_ref()
+        .map_or_else(|| "cooperative".to_string(), |b| {
+            format!(
+                "E broken at step {} by {}",
+                b.step,
+                b.action.as_deref().unwrap_or("(init)")
+            )
+        });
+    println!(
+        "{}",
+        row(&[
+            "ABP, lossy forward wire".to_string(),
+            verdict(report.holds()),
+            diagnosis,
+            graph.len().to_string(),
+            ms(t.elapsed()),
+        ])
+    );
+
+    // Crash–restart queue chain, from both sides of ⊳.
+    let chain = QueueChain::new(2, 1, 2, FairnessStyle::None);
+    for (label, sys, expect_holds) in [
+        ("chain, crashing environment", chain.crashy_env_system().unwrap(), true),
+        ("chain, crashing queue 1", chain.crashy_queue_system(1).unwrap(), false),
+    ] {
+        let t = Instant::now();
+        let graph = explore_all(&sys);
+        let report = check_ag_safety_diagnosed(
+            &sys,
+            &graph,
+            &chain.outer_assumption(),
+            &chain.big_queue_guarantee().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.holds(), expect_holds);
+        let diagnosis = match (&report.env_break, report.verdict.counterexample()) {
+            (Some(b), _) => format!(
+                "E broken at step {}, M held {} steps",
+                b.step,
+                b.step + 1
+            ),
+            (None, Some(cx)) => cx.reason().chars().take(60).collect(),
+            (None, None) => "cooperative".to_string(),
+        };
+        println!(
+            "{}",
+            row(&[
+                label.to_string(),
+                verdict(report.holds()),
+                diagnosis,
+                graph.len().to_string(),
+                ms(t.elapsed()),
+            ])
+        );
+    }
+
+    // Governed exploration: a tiny budget exhausts gracefully, and
+    // geometric escalation completes the run.
+    let t = Instant::now();
+    let run = opentla_check::explore_governed(&lossy, &Budget::default().states(3)).unwrap();
+    let partial = match &run.outcome {
+        Outcome::Exhausted { reason, frontier_size, stats } => {
+            format!("{reason}; {} frontier, {} states seen", frontier_size, stats.states)
+        }
+        Outcome::Complete => "complete".to_string(),
+    };
+    let full = escalate(&Budget::default().states(3), 4, 8, |b| {
+        opentla_check::explore_governed(&lossy, b)
+    })
+    .unwrap();
+    println!(
+        "{}",
+        row(&[
+            "governed explore (3-state budget, ×4 escalation)".to_string(),
+            verdict(full.outcome.is_complete()),
+            partial,
+            full.graph.len().to_string(),
+            ms(t.elapsed()),
+        ])
+    );
 }
 
 fn verdict(ok: bool) -> String {

@@ -1,0 +1,419 @@
+//! Resource governance for the checking engines.
+//!
+//! Explicit-state checking is open-ended: a mis-specified system can
+//! have a state space far beyond what the caller intended to pay for.
+//! Following TLC's practice of bounded, diagnostics-first checking,
+//! every engine in this crate can run under a [`Budget`] — a limit on
+//! states, transitions, wall-clock time, and an external cancellation
+//! flag. Exhausting the budget is **not an error**: the engine stops,
+//! keeps everything it learned (a partial [`StateGraph`]
+//! (crate::StateGraph), an undecided verdict), and tags the result
+//! with an [`Outcome::Exhausted`] carrying the reason, the frontier
+//! still unexplored, and summary statistics. The [`escalate`] helper
+//! turns that into a retry loop with geometrically growing budgets.
+
+use crate::GraphStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A resource envelope for one checking run.
+///
+/// The default budget is unlimited on every axis; callers narrow the
+/// axes they care about:
+///
+/// ```
+/// use opentla_check::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::default()
+///     .states(10_000)
+///     .transitions(100_000)
+///     .with_deadline(Duration::from_secs(5));
+/// assert_eq!(budget.max_states, 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Maximum number of *unique* states an engine may record.
+    pub max_states: usize,
+    /// Maximum number of transitions (graph edges / step checks) an
+    /// engine may process.
+    pub max_transitions: usize,
+    /// Wall-clock allowance for the run, measured from the engine's
+    /// entry point.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: set this flag from another thread and
+    /// the engine stops at its next checkpoint.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: usize::MAX,
+            max_transitions: usize::MAX,
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl Budget {
+    /// An unlimited budget (alias of [`Budget::default`], for call
+    /// sites where the name reads better).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Replaces the unique-state limit.
+    pub fn states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Replaces the transition limit.
+    pub fn transitions(mut self, max_transitions: usize) -> Self {
+        self.max_transitions = max_transitions;
+        self
+    }
+
+    /// Replaces the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// A handle to the cancellation flag, for handing to another
+    /// thread (e.g. a ctrl-C handler).
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Requests cooperative cancellation of every engine sharing this
+    /// budget's flag.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// The same budget with finite limits scaled by `factor`
+    /// (saturating), sharing the cancellation flag. Deadlines scale
+    /// too: a run that timed out deserves proportionally more time on
+    /// the retry.
+    pub fn escalated(&self, factor: u32) -> Budget {
+        let factor = factor.max(1);
+        let scale = |n: usize| {
+            if n == usize::MAX {
+                n
+            } else {
+                n.saturating_mul(factor as usize)
+            }
+        };
+        Budget {
+            max_states: scale(self.max_states),
+            max_transitions: scale(self.max_transitions),
+            deadline: self.deadline.map(|d| d.saturating_mul(factor)),
+            cancel: Arc::clone(&self.cancel),
+        }
+    }
+}
+
+/// Why a governed run stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExhaustReason {
+    /// The unique-state limit was reached.
+    StateLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The transition limit was reached.
+    TransitionLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured allowance.
+        allowed: Duration,
+    },
+    /// The cancellation flag was raised externally.
+    Cancelled,
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustReason::StateLimit { limit } => {
+                write!(f, "state limit of {limit} reached")
+            }
+            ExhaustReason::TransitionLimit { limit } => {
+                write!(f, "transition limit of {limit} reached")
+            }
+            ExhaustReason::Deadline { allowed } => {
+                write!(f, "deadline of {allowed:?} expired")
+            }
+            ExhaustReason::Cancelled => write!(f, "cancelled by caller"),
+        }
+    }
+}
+
+/// How a governed run ended: either it covered everything it set out
+/// to cover, or the budget ran out first.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The engine ran to completion; its answer is authoritative.
+    Complete,
+    /// The budget ran out. The partial results are still valid for
+    /// everything that *was* covered.
+    Exhausted {
+        /// Which budget axis was exhausted.
+        reason: ExhaustReason,
+        /// Work items discovered but not yet processed (BFS frontier
+        /// states, unchecked edges, …).
+        frontier_size: usize,
+        /// Statistics of the partial graph at the moment of
+        /// exhaustion.
+        stats: GraphStats,
+    },
+}
+
+impl Outcome {
+    /// Whether the run covered everything (its answer is
+    /// authoritative).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete)
+    }
+
+    /// The exhaustion reason, if the budget ran out.
+    pub fn exhaustion(&self) -> Option<&ExhaustReason> {
+        match self {
+            Outcome::Complete => None,
+            Outcome::Exhausted { reason, .. } => Some(reason),
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Complete => write!(f, "complete"),
+            Outcome::Exhausted {
+                reason,
+                frontier_size,
+                stats,
+            } => write!(
+                f,
+                "exhausted ({reason}); partial coverage: {stats}; \
+                 {frontier_size} frontier item(s) unexplored"
+            ),
+        }
+    }
+}
+
+/// Running tally of a budget during one engine invocation.
+///
+/// Engines call [`Meter::charge_state`] / [`Meter::charge_transition`]
+/// as they do work and [`Meter::checkpoint`] at loop heads; the first
+/// call returning `Some` reason is where they stop.
+#[derive(Debug)]
+pub struct Meter {
+    budget: Budget,
+    start: Instant,
+    states: usize,
+    transitions: usize,
+}
+
+impl Meter {
+    /// Starts metering against `budget` (the deadline clock starts
+    /// now).
+    pub fn start(budget: &Budget) -> Self {
+        Meter {
+            budget: budget.clone(),
+            start: Instant::now(),
+            states: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Records one unique state; `Some` if that state was over the
+    /// limit. The caller should *not* keep the state in that case, so
+    /// the recorded graph never exceeds `max_states`.
+    pub fn charge_state(&mut self) -> Option<ExhaustReason> {
+        if self.states >= self.budget.max_states {
+            return Some(ExhaustReason::StateLimit {
+                limit: self.budget.max_states,
+            });
+        }
+        self.states += 1;
+        None
+    }
+
+    /// Records one processed transition; `Some` if over the limit.
+    pub fn charge_transition(&mut self) -> Option<ExhaustReason> {
+        if self.transitions >= self.budget.max_transitions {
+            return Some(ExhaustReason::TransitionLimit {
+                limit: self.budget.max_transitions,
+            });
+        }
+        self.transitions += 1;
+        None
+    }
+
+    /// Deadline and cancellation check, for loop heads.
+    pub fn checkpoint(&self) -> Option<ExhaustReason> {
+        if self.budget.cancel.load(Ordering::Relaxed) {
+            return Some(ExhaustReason::Cancelled);
+        }
+        if let Some(allowed) = self.budget.deadline {
+            if self.start.elapsed() > allowed {
+                return Some(ExhaustReason::Deadline { allowed });
+            }
+        }
+        None
+    }
+
+    /// States charged so far.
+    pub fn states_used(&self) -> usize {
+        self.states
+    }
+
+    /// Transitions charged so far.
+    pub fn transitions_used(&self) -> usize {
+        self.transitions
+    }
+}
+
+/// Results that know whether their run exhausted its budget, making
+/// them eligible for [`escalate`].
+pub trait Governed {
+    /// The exhaustion reason, or `None` if the run completed.
+    fn exhaustion(&self) -> Option<&ExhaustReason>;
+}
+
+/// Runs `attempt` under `budget`, retrying with geometrically larger
+/// budgets (scaled by `factor` each round, up to `attempts` rounds in
+/// total) while the result reports exhaustion. Returns the first
+/// complete result, or the last partial one if every round exhausted.
+///
+/// ```
+/// use opentla_check::{escalate, explore_governed, Budget, System, Init, GuardedAction};
+/// use opentla_kernel::{Domain, Expr, Value, Vars};
+///
+/// let mut vars = Vars::new();
+/// let x = vars.declare("x", Domain::int_range(0, 9));
+/// let incr = GuardedAction::new(
+///     "incr",
+///     Expr::var(x).lt(Expr::int(9)),
+///     vec![(x, Expr::var(x).add(Expr::int(1)))],
+/// );
+/// let sys = System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr]);
+/// // 2 states is not enough; 3 rounds of 4× escalation reach 32.
+/// let run = escalate(&Budget::default().states(2), 4, 3, |b| {
+///     explore_governed(&sys, b)
+/// })
+/// .unwrap();
+/// assert!(run.outcome.is_complete());
+/// assert_eq!(run.graph.len(), 10);
+/// ```
+pub fn escalate<T: Governed, E>(
+    budget: &Budget,
+    factor: u32,
+    attempts: usize,
+    mut attempt: impl FnMut(&Budget) -> Result<T, E>,
+) -> Result<T, E> {
+    let mut current = budget.clone();
+    let mut result = attempt(&current)?;
+    for _ in 1..attempts.max(1) {
+        if result.exhaustion().is_none() {
+            break;
+        }
+        current = current.escalated(factor);
+        result = attempt(&current)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_narrows_axes() {
+        let b = Budget::default()
+            .states(5)
+            .transitions(7)
+            .with_deadline(Duration::from_millis(10));
+        assert_eq!(b.max_states, 5);
+        assert_eq!(b.max_transitions, 7);
+        assert_eq!(b.deadline, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn escalated_scales_finite_limits_only() {
+        let b = Budget::default().states(5);
+        let bigger = b.escalated(4);
+        assert_eq!(bigger.max_states, 20);
+        assert_eq!(bigger.max_transitions, usize::MAX);
+        // The cancel flag is shared across escalations.
+        b.request_cancel();
+        assert!(bigger.cancel.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn meter_trips_at_limits() {
+        let mut m = Meter::start(&Budget::default().states(2).transitions(1));
+        assert!(m.charge_state().is_none());
+        assert!(m.charge_state().is_none());
+        assert_eq!(
+            m.charge_state(),
+            Some(ExhaustReason::StateLimit { limit: 2 })
+        );
+        assert!(m.charge_transition().is_none());
+        assert_eq!(
+            m.charge_transition(),
+            Some(ExhaustReason::TransitionLimit { limit: 1 })
+        );
+        assert_eq!(m.states_used(), 2);
+        assert_eq!(m.transitions_used(), 1);
+    }
+
+    #[test]
+    fn checkpoint_sees_cancellation_and_deadline() {
+        let b = Budget::default();
+        let m = Meter::start(&b);
+        assert!(m.checkpoint().is_none());
+        b.request_cancel();
+        assert_eq!(m.checkpoint(), Some(ExhaustReason::Cancelled));
+
+        let b = Budget::default().with_deadline(Duration::from_secs(0));
+        let m = Meter::start(&b);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            m.checkpoint(),
+            Some(ExhaustReason::Deadline { .. })
+        ));
+    }
+
+    #[test]
+    fn escalate_retries_until_complete() {
+        struct Fake(Option<ExhaustReason>);
+        impl Governed for Fake {
+            fn exhaustion(&self) -> Option<&ExhaustReason> {
+                self.0.as_ref()
+            }
+        }
+        let mut budgets_seen = Vec::new();
+        let result: Result<Fake, ()> =
+            escalate(&Budget::default().states(1), 3, 4, |b| {
+                budgets_seen.push(b.max_states);
+                if b.max_states >= 9 {
+                    Ok(Fake(None))
+                } else {
+                    Ok(Fake(Some(ExhaustReason::StateLimit {
+                        limit: b.max_states,
+                    })))
+                }
+            });
+        assert!(result.unwrap().exhaustion().is_none());
+        assert_eq!(budgets_seen, vec![1, 3, 9]);
+    }
+}

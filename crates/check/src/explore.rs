@@ -1,5 +1,6 @@
 //! Breadth-first state-space exploration.
 
+use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
 use crate::{CheckError, System};
 use opentla_kernel::State;
 use std::collections::HashMap;
@@ -215,19 +216,61 @@ impl StateGraph {
     }
 }
 
-/// Explores the reachable states of a system breadth-first.
+/// A (possibly partial) exploration: the graph built so far, how the
+/// run ended, and — when the budget ran out — the BFS frontier still
+/// waiting to be expanded.
+///
+/// Dereferences to its [`StateGraph`], so invariant checks and trace
+/// reconstruction work on partial explorations unchanged.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The reachability graph built within budget. On a
+    /// [`Outcome::Complete`] run this is the full reachable graph.
+    pub graph: StateGraph,
+    /// Whether the run covered the whole reachable space.
+    pub outcome: Outcome,
+    /// State indices discovered but not yet expanded when the run
+    /// stopped (empty on complete runs). Edges out of these states are
+    /// missing from `graph`.
+    pub frontier: Vec<usize>,
+}
+
+impl std::ops::Deref for Exploration {
+    type Target = StateGraph;
+
+    fn deref(&self) -> &StateGraph {
+        &self.graph
+    }
+}
+
+impl Governed for Exploration {
+    fn exhaustion(&self) -> Option<&ExhaustReason> {
+        self.outcome.exhaustion()
+    }
+}
+
+/// Explores the reachable states of a system breadth-first under a
+/// resource [`Budget`].
+///
+/// Budget exhaustion is **not** an error: the result carries the
+/// partial [`StateGraph`] (every state and edge recorded is genuinely
+/// reachable), an [`Outcome::Exhausted`] tag with the reason and
+/// statistics, and the unexpanded BFS frontier. Unique states are
+/// counted once, at insertion — the initial-state loop and the
+/// successor loop charge the same meter, so the limit trips at exactly
+/// `max_states` regardless of where the frontier stood.
 ///
 /// # Errors
 ///
 /// * [`CheckError::NoInitialStates`] if the initial specification is
 ///   empty;
-/// * [`CheckError::TooManyStates`] beyond `options.max_states`;
 /// * evaluation/domain errors from firing actions.
-pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, CheckError> {
+pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration, CheckError> {
     let init_states = system.init().states(system.universe())?;
     if init_states.is_empty() {
         return Err(CheckError::NoInitialStates);
     }
+    let mut meter = Meter::start(budget);
     let mut graph = StateGraph {
         states: Vec::new(),
         index: HashMap::new(),
@@ -236,14 +279,14 @@ pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, 
         parents: Vec::new(),
     };
     let mut queue = std::collections::VecDeque::new();
+    let mut exhausted: Option<ExhaustReason> = None;
     for s in init_states {
         if graph.index.contains_key(&s) {
             continue;
         }
-        if graph.states.len() >= options.max_states {
-            return Err(CheckError::TooManyStates {
-                limit: options.max_states,
-            });
+        if let Some(reason) = meter.charge_state() {
+            exhausted = Some(reason);
+            break;
         }
         let id = graph.states.len();
         graph.index.insert(s.clone(), id);
@@ -253,16 +296,30 @@ pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, 
         graph.init.push(id);
         queue.push_back(id);
     }
-    while let Some(id) = queue.pop_front() {
+    'bfs: while exhausted.is_none() {
+        if let Some(reason) = meter.checkpoint() {
+            exhausted = Some(reason);
+            break;
+        }
+        let Some(id) = queue.pop_front() else {
+            break;
+        };
         let succ = system.successors(&graph.states[id].clone())?;
         for (action, t) in succ {
+            if let Some(reason) = meter.charge_transition() {
+                // Re-queue the half-expanded state so the frontier
+                // honestly reports it as uncovered.
+                queue.push_front(id);
+                exhausted = Some(reason);
+                break 'bfs;
+            }
             let target = match graph.index.get(&t) {
                 Some(existing) => *existing,
                 None => {
-                    if graph.states.len() >= options.max_states {
-                        return Err(CheckError::TooManyStates {
-                            limit: options.max_states,
-                        });
+                    if let Some(reason) = meter.charge_state() {
+                        queue.push_front(id);
+                        exhausted = Some(reason);
+                        break 'bfs;
                     }
                     let nid = graph.states.len();
                     graph.index.insert(t.clone(), nid);
@@ -276,7 +333,42 @@ pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, 
             graph.edges[id].push(Edge { action, target });
         }
     }
-    Ok(graph)
+    let outcome = match exhausted {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Exhausted {
+            reason,
+            frontier_size: queue.len(),
+            stats: graph.stats(),
+        },
+    };
+    Ok(Exploration {
+        frontier: queue.into_iter().collect(),
+        graph,
+        outcome,
+    })
+}
+
+/// Explores the reachable states of a system breadth-first.
+///
+/// This is the all-or-nothing interface: exceeding
+/// `options.max_states` is reported as an error. Callers who want the
+/// partial graph (and finer-grained limits) should use
+/// [`explore_governed`].
+///
+/// # Errors
+///
+/// * [`CheckError::NoInitialStates`] if the initial specification is
+///   empty;
+/// * [`CheckError::TooManyStates`] beyond `options.max_states`;
+/// * evaluation/domain errors from firing actions.
+pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, CheckError> {
+    let run = explore_governed(system, &Budget::default().states(options.max_states))?;
+    match run.outcome {
+        Outcome::Complete => Ok(run.graph),
+        Outcome::Exhausted { .. } => Err(CheckError::TooManyStates {
+            limit: options.max_states,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +464,92 @@ mod tests {
         assert_eq!(stats.depth, 5);
         let text = stats.to_string();
         assert!(text.contains("6 states") && text.contains("depth 5"), "{text}");
+    }
+
+    #[test]
+    fn governed_exploration_returns_partial_graph() {
+        // Acceptance: max_states = 3 still yields a usable partial
+        // graph with readable stats, instead of an all-or-nothing Err.
+        let run = explore_governed(&counter(10), &Budget::default().states(3)).unwrap();
+        assert_eq!(run.graph.len(), 3);
+        let stats = run.stats(); // through Deref
+        assert_eq!(stats.states, 3);
+        assert_eq!(stats.transitions, 2);
+        match &run.outcome {
+            Outcome::Exhausted {
+                reason,
+                frontier_size,
+                stats,
+            } => {
+                assert_eq!(*reason, ExhaustReason::StateLimit { limit: 3 });
+                assert_eq!(*frontier_size, run.frontier.len());
+                assert_eq!(stats.states, 3);
+            }
+            Outcome::Complete => panic!("3 states cannot cover counter(10)"),
+        }
+        // Every recorded state is genuinely reachable and traceable.
+        for id in 0..run.graph.len() {
+            assert!(!run.trace_to(id).is_empty());
+        }
+        // The half-expanded state is on the frontier, not silently lost.
+        assert!(!run.frontier.is_empty());
+    }
+
+    #[test]
+    fn both_charge_sites_agree_on_unique_state_counting() {
+        // A system whose *initial* enumeration already exceeds the
+        // limit: the init loop and the successor loop must trip at the
+        // same effective limit (unique insertions, not enumerations).
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 7));
+        let sys = System::new(vars, Init::new([]), vec![]);
+        let run = explore_governed(&sys, &Budget::default().states(5)).unwrap();
+        assert_eq!(run.graph.len(), 5);
+        assert_eq!(
+            run.outcome.exhaustion(),
+            Some(&ExhaustReason::StateLimit { limit: 5 })
+        );
+        let _ = x;
+
+        // Exactly at the limit: complete, not exhausted.
+        let run = explore_governed(&counter(4), &Budget::default().states(5)).unwrap();
+        assert!(run.outcome.is_complete());
+        assert_eq!(run.graph.len(), 5);
+        assert!(run.frontier.is_empty());
+    }
+
+    #[test]
+    fn transition_budget_requeues_interrupted_state() {
+        let run =
+            explore_governed(&counter(10), &Budget::default().transitions(2)).unwrap();
+        assert_eq!(run.graph.edge_count(), 2);
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(ExhaustReason::TransitionLimit { limit: 2 })
+        ));
+        // The state whose expansion was cut short is on the frontier.
+        assert!(!run.frontier.is_empty());
+    }
+
+    #[test]
+    fn cancelled_budget_stops_immediately() {
+        let budget = Budget::default();
+        budget.request_cancel();
+        let run = explore_governed(&counter(10), &budget).unwrap();
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(ExhaustReason::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn escalate_reaches_completion() {
+        let run = crate::escalate(&Budget::default().states(2), 4, 3, |b| {
+            explore_governed(&counter(9), b)
+        })
+        .unwrap();
+        assert!(run.outcome.is_complete());
+        assert_eq!(run.graph.len(), 10);
     }
 
     #[test]

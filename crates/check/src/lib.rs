@@ -19,7 +19,16 @@
 //!   strongly-connected-component analysis, producing fair lasso
 //!   counterexamples ([`Counterexample`] converts into a semantic
 //!   [`Lasso`](opentla_semantics::Lasso) so every counterexample can be
-//!   re-checked against the trace semantics).
+//!   re-checked against the trace semantics);
+//! * [`faults`] — adversarial fault-injection combinators
+//!   ([`faults::lossy`], [`faults::duplicate`], [`faults::crash_restart`],
+//!   [`faults::hostile_env`]) that transform a [`System`] into a
+//!   degraded variant for robustness checking;
+//! * [`Budget`] / [`Outcome`] — a resource governor: every engine has a
+//!   `*_governed` variant that stops gracefully when states,
+//!   transitions, wall-clock, or a cancellation flag run out, returning
+//!   partial results instead of an error, with [`escalate`] for
+//!   geometric-retry loops.
 //!
 //! # Example
 //!
@@ -42,22 +51,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod counterexample;
 mod error;
 mod explore;
+pub mod faults;
 mod invariant;
 mod liveness;
 mod sample;
 mod simulate;
 mod system;
 
+pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
 pub use counterexample::Counterexample;
 pub use error::CheckError;
-pub use explore::{explore, Edge, ExploreOptions, GraphStats, StateGraph};
+pub use explore::{
+    explore, explore_governed, Edge, Exploration, ExploreOptions, GraphStats, StateGraph,
+};
 pub use invariant::{check_invariant, check_step_invariant};
-pub use liveness::{check_liveness, LiveTarget};
+pub use liveness::{check_liveness, check_liveness_governed, LiveTarget, LivenessRun};
 pub use sample::sample_behavior;
-pub use simulate::{check_simulation, SimulationReport};
+pub use simulate::{
+    check_simulation, check_simulation_governed, SimulationReport, SimulationRun,
+};
 pub use system::{GuardedAction, Init, System, SystemFairness};
 
 /// The outcome of a check: either the property holds, or it is violated

@@ -23,8 +23,28 @@
 //! against the trace semantics of `opentla-semantics` — the test suite
 //! does exactly that.
 
+use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
 use crate::{CheckError, Counterexample, StateGraph, System, Verdict};
 use opentla_kernel::{Expr, Fairness, FairnessKind, StatePair};
+
+/// Why the metered liveness core stopped: budget exhaustion (with a
+/// count of pending work items, where cheaply known) or a hard error.
+enum Stop {
+    Exhausted { reason: ExhaustReason, pending: usize },
+    Error(CheckError),
+}
+
+impl Stop {
+    fn exhausted(reason: ExhaustReason) -> Self {
+        Stop::Exhausted { reason, pending: 0 }
+    }
+}
+
+impl From<CheckError> for Stop {
+    fn from(e: CheckError) -> Self {
+        Stop::Error(e)
+    }
+}
 
 /// The liveness property to verify. `Expr`s are state predicates.
 #[derive(Clone, Debug)]
@@ -95,7 +115,11 @@ struct FairInfo {
     name: String,
 }
 
-fn system_fair_infos(system: &System, graph: &StateGraph) -> Vec<FairInfo> {
+fn system_fair_infos(
+    system: &System,
+    graph: &StateGraph,
+    meter: &mut Meter,
+) -> Result<Vec<FairInfo>, Stop> {
     system
         .fairness()
         .iter()
@@ -107,10 +131,13 @@ fn system_fair_infos(system: &System, graph: &StateGraph) -> Vec<FairInfo> {
                     .edges(id)
                     .iter()
                     .map(|e| {
-                        f.action_ids.contains(&e.action)
-                            && !s.agrees_with(graph.state(e.target), &f.sub)
+                        meter
+                            .charge_transition()
+                            .map_or(Ok(()), |r| Err(Stop::exhausted(r)))?;
+                        Ok(f.action_ids.contains(&e.action)
+                            && !s.agrees_with(graph.state(e.target), &f.sub))
                     })
-                    .collect();
+                    .collect::<Result<_, Stop>>()?;
                 enabled[id] = flags.iter().any(|b| *b);
                 angle.push(flags);
             }
@@ -119,7 +146,7 @@ fn system_fair_infos(system: &System, graph: &StateGraph) -> Vec<FairInfo> {
                 .iter()
                 .map(|i| system.actions()[*i].name())
                 .collect();
-            FairInfo {
+            Ok(FairInfo {
                 kind: f.kind,
                 angle,
                 enabled,
@@ -131,7 +158,7 @@ fn system_fair_infos(system: &System, graph: &StateGraph) -> Vec<FairInfo> {
                     },
                     names.join(" ∨ ")
                 ),
-            }
+            })
         })
         .collect()
 }
@@ -143,20 +170,37 @@ fn target_fair_info(
     graph: &StateGraph,
     fair: &Fairness,
     enabled_with: Option<&Expr>,
-) -> Result<(Vec<Vec<bool>>, Vec<bool>), CheckError> {
+    meter: &mut Meter,
+) -> Result<(Vec<Vec<bool>>, Vec<bool>), Stop> {
     let angle_expr = fair.angle_action();
     let mut angle = Vec::with_capacity(graph.len());
     let mut enabled = vec![false; graph.len()];
     for (id, s) in graph.states().iter().enumerate() {
+        if let Some(reason) = meter.checkpoint() {
+            return Err(Stop::Exhausted {
+                reason,
+                pending: graph.len() - id,
+            });
+        }
         let flags: Vec<bool> = graph
             .edges(id)
             .iter()
-            .map(|e| angle_expr.holds_action(StatePair::new(s, graph.state(e.target))))
-            .collect::<Result<_, _>>()?;
+            .map(|e| {
+                meter
+                    .charge_transition()
+                    .map_or(Ok(()), |r| Err(Stop::exhausted(r)))?;
+                angle_expr
+                    .holds_action(StatePair::new(s, graph.state(e.target)))
+                    .map_err(|e| Stop::Error(e.into()))
+            })
+            .collect::<Result<_, Stop>>()?;
         angle.push(flags);
         enabled[id] = match enabled_with {
-            Some(pred) => pred.holds_state(s)?,
-            None => system.universe().enabled(&angle_expr, s)?,
+            Some(pred) => pred.holds_state(s).map_err(CheckError::from)?,
+            None => system
+                .universe()
+                .enabled(&angle_expr, s)
+                .map_err(CheckError::from)?,
         };
     }
     Ok((angle, enabled))
@@ -226,11 +270,72 @@ pub fn check_liveness(
     graph: &StateGraph,
     target: &LiveTarget,
 ) -> Result<Verdict, CheckError> {
-    let violation = build_violation(system, graph, target)?;
-    let fair_infos = system_fair_infos(system, graph);
-    match find_violation(system, graph, &fair_infos, &violation)? {
-        Some(cx) => Ok(Verdict::Violated(cx)),
-        None => Ok(Verdict::Holds),
+    let run = check_liveness_governed(system, graph, target, &Budget::unlimited())?;
+    Ok(run
+        .verdict
+        .expect("an unlimited budget cannot be exhausted"))
+}
+
+/// Result of a budget-governed liveness check: the verdict when the
+/// budget sufficed to decide it, plus the run's [`Outcome`].
+#[derive(Clone, Debug)]
+pub struct LivenessRun {
+    /// `Some` iff the check ran to a decision within budget. A
+    /// decision reached before exhaustion (e.g. a violation found
+    /// early) is authoritative.
+    pub verdict: Option<Verdict>,
+    /// How the run ended. On exhaustion, `frontier_size` counts the
+    /// pending work items (states or components not yet analyzed) at
+    /// the point the budget ran out, where cheaply known.
+    pub outcome: Outcome,
+}
+
+impl Governed for LivenessRun {
+    fn exhaustion(&self) -> Option<&ExhaustReason> {
+        self.outcome.exhaustion()
+    }
+}
+
+/// Checks a liveness property under a resource [`Budget`].
+///
+/// The budget's transition limit meters edge-level work (fairness
+/// tables, component search); the deadline and cancellation flag are
+/// polled at loop heads. Exhaustion yields `verdict: None` with an
+/// [`Outcome::Exhausted`] tag — never a hard error — so callers can
+/// [`escalate`](crate::escalate) or report partial coverage.
+///
+/// # Errors
+///
+/// Propagates evaluation errors, as [`check_liveness`] does.
+pub fn check_liveness_governed(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+    budget: &Budget,
+) -> Result<LivenessRun, CheckError> {
+    let mut meter = Meter::start(budget);
+    let decided = (|| -> Result<Verdict, Stop> {
+        let violation = build_violation(system, graph, target, &mut meter)?;
+        let fair_infos = system_fair_infos(system, graph, &mut meter)?;
+        match find_violation(system, graph, &fair_infos, &violation, &mut meter)? {
+            Some(cx) => Ok(Verdict::Violated(cx)),
+            None => Ok(Verdict::Holds),
+        }
+    })();
+    match decided {
+        Ok(verdict) => Ok(LivenessRun {
+            verdict: Some(verdict),
+            outcome: Outcome::Complete,
+        }),
+        Err(Stop::Exhausted { reason, pending }) => Ok(LivenessRun {
+            verdict: None,
+            outcome: Outcome::Exhausted {
+                reason,
+                frontier_size: pending,
+                stats: graph.stats(),
+            },
+        }),
+        Err(Stop::Error(e)) => Err(e),
     }
 }
 
@@ -246,12 +351,13 @@ fn build_violation(
     system: &System,
     graph: &StateGraph,
     target: &LiveTarget,
-) -> Result<Violation, CheckError> {
+    meter: &mut Meter,
+) -> Result<Violation, Stop> {
     let all = vec![true; graph.len()];
     Ok(match target {
         LiveTarget::Fair { fair, enabled_with } => {
             let (angle, enabled) =
-                target_fair_info(system, graph, fair, enabled_with.as_ref())?;
+                target_fair_info(system, graph, fair, enabled_with.as_ref(), meter)?;
             let not_angle: Vec<Vec<bool>> = angle
                 .iter()
                 .map(|row| row.iter().map(|b| !b).collect())
@@ -356,7 +462,8 @@ fn find_violation(
     graph: &StateGraph,
     fair_infos: &[FairInfo],
     v: &Violation,
-) -> Result<Option<Counterexample>, CheckError> {
+    meter: &mut Meter,
+) -> Result<Option<Counterexample>, Stop> {
     if v.starts.is_empty() {
         return Ok(None);
     }
@@ -366,12 +473,18 @@ fn find_violation(
             && v.cycle_edge_ok.as_ref().is_none_or(|rows| rows[s][i])
     };
     // SCCs of the restricted graph.
-    let sccs = tarjan_sccs(graph, &v.cycle_node_ok, &edge_ok);
+    let sccs = tarjan_sccs(graph, &v.cycle_node_ok, &edge_ok, meter)?;
     // Which states can begin the violating suffix (path constraint).
     let path_region = reachable_from(graph, &v.starts, v.path_node_ok.as_deref());
-    for scc in &sccs {
+    for (done, scc) in sccs.iter().enumerate() {
+        if let Some(reason) = meter.checkpoint() {
+            return Err(Stop::Exhausted {
+                reason,
+                pending: sccs.len() - done,
+            });
+        }
         if let Some((nodes, waypoints)) =
-            fair_subcomponent(graph, fair_infos, &edge_ok, scc, v.must_contain.as_deref())
+            fair_subcomponent(graph, fair_infos, &edge_ok, scc, v.must_contain.as_deref(), meter)?
         {
             // Entry: a node of the component reachable under the path
             // constraint.
@@ -386,6 +499,10 @@ fn find_violation(
     Ok(None)
 }
 
+/// A fair node set plus one waypoint per fairness requirement that
+/// needs an explicit witness.
+type FairWitness = (Vec<usize>, Vec<Waypoint>);
+
 /// Depth-first search for a strongly connected node set (within `scc`)
 /// in which every fairness requirement is satisfiable and the
 /// `must_contain` requirement holds. Returns the node set plus one
@@ -396,10 +513,14 @@ fn fair_subcomponent(
     edge_ok: &dyn Fn(usize, usize) -> bool,
     scc: &[usize],
     must_contain: Option<&[bool]>,
-) -> Option<(Vec<usize>, Vec<Waypoint>)> {
+    meter: &mut Meter,
+) -> Result<Option<FairWitness>, Stop> {
+    if let Some(reason) = meter.checkpoint() {
+        return Err(Stop::exhausted(reason));
+    }
     if let Some(req) = must_contain {
         if !scc.iter().any(|n| req[*n]) {
-            return None;
+            return Ok(None);
         }
     }
     let in_scc = |n: usize| scc.contains(&n);
@@ -413,6 +534,9 @@ fn fair_subcomponent(
         let mut edge_witness = None;
         'search: for &s in scc {
             for (i, e) in graph.edges(s).iter().enumerate() {
+                if let Some(reason) = meter.charge_transition() {
+                    return Err(Stop::exhausted(reason));
+                }
                 if info.angle[s][i] && edge_ok(s, i) && in_scc(e.target) {
                     edge_witness = Some(Waypoint::Edge(s, i));
                     break 'search;
@@ -429,7 +553,7 @@ fn fair_subcomponent(
                 // infinitely often, also satisfies WF.
                 match scc.iter().copied().find(|n| !info.enabled[*n]) {
                     Some(n) => waypoints.push(Waypoint::Node(n)),
-                    None => return None, // WF unsatisfiable here and in any subset.
+                    None => return Ok(None), // WF unsatisfiable here and in any subset.
                 }
             }
             FairnessKind::Strong => {
@@ -445,7 +569,7 @@ fn fair_subcomponent(
                     .filter(|n| !info.enabled[*n])
                     .collect();
                 if survivors.is_empty() {
-                    return None;
+                    return Ok(None);
                 }
                 let mut node_ok = vec![false; graph.len()];
                 for &n in &survivors {
@@ -453,18 +577,23 @@ fn fair_subcomponent(
                 }
                 let sub_edge_ok =
                     |s: usize, i: usize| edge_ok(s, i) && node_ok[graph.edges(s)[i].target];
-                for sub in tarjan_sccs(graph, &node_ok, &sub_edge_ok) {
-                    if let Some(found) =
-                        fair_subcomponent(graph, fair_infos, edge_ok, &sub, must_contain)
-                    {
-                        return Some(found);
+                for sub in tarjan_sccs(graph, &node_ok, &sub_edge_ok, meter)? {
+                    if let Some(found) = fair_subcomponent(
+                        graph,
+                        fair_infos,
+                        edge_ok,
+                        &sub,
+                        must_contain,
+                        meter,
+                    )? {
+                        return Ok(Some(found));
                     }
                 }
-                return None;
+                return Ok(None);
             }
         }
     }
-    Some((scc.to_vec(), waypoints))
+    Ok(Some((scc.to_vec(), waypoints)))
 }
 
 /// Iterative Tarjan over the restricted graph. Single nodes form
@@ -474,7 +603,8 @@ fn tarjan_sccs(
     graph: &StateGraph,
     node_ok: &[bool],
     edge_ok: &dyn Fn(usize, usize) -> bool,
-) -> Vec<Vec<usize>> {
+    meter: &mut Meter,
+) -> Result<Vec<Vec<usize>>, Stop> {
     let n = graph.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
@@ -488,6 +618,9 @@ fn tarjan_sccs(
         if !node_ok[root] || index[root] != usize::MAX {
             continue;
         }
+        if let Some(reason) = meter.checkpoint() {
+            return Err(Stop::exhausted(reason));
+        }
         let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
         index[root] = next_index;
         low[root] = next_index;
@@ -500,6 +633,9 @@ fn tarjan_sccs(
             if *pos < edges.len() {
                 let i = *pos;
                 *pos += 1;
+                if let Some(reason) = meter.charge_transition() {
+                    return Err(Stop::exhausted(reason));
+                }
                 if !edge_ok(node, i) {
                     continue;
                 }
@@ -538,7 +674,7 @@ fn tarjan_sccs(
             }
         }
     }
-    sccs
+    Ok(sccs)
 }
 
 /// States reachable from `starts` through states satisfying
@@ -727,6 +863,56 @@ mod tests {
             check_liveness(&sys, &graph, &LiveTarget::Eventually(p.clone())).unwrap();
         let cx = verdict.counterexample().expect("stuttering violates ◇");
         confirm_semantically(&sys, cx, &Formula::pred(p).eventually());
+    }
+
+    #[test]
+    fn governed_liveness_reports_exhaustion_not_error() {
+        use crate::Budget;
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let p = Expr::var(x).eq(Expr::int(3));
+        let target = LiveTarget::Eventually(p);
+        // A transition budget of 1 cannot even build the fairness
+        // tables: the verdict is undecided, the outcome explains why.
+        let run = check_liveness_governed(
+            &sys,
+            &graph,
+            &target,
+            &Budget::default().transitions(1),
+        )
+        .unwrap();
+        assert!(run.verdict.is_none());
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(crate::ExhaustReason::TransitionLimit { limit: 1 })
+        ));
+        // Escalating geometrically reaches a decision.
+        let run = crate::escalate(&Budget::default().transitions(1), 8, 4, |b| {
+            check_liveness_governed(&sys, &graph, &target, b)
+        })
+        .unwrap();
+        assert!(run.verdict.expect("escalated budget decides").holds());
+    }
+
+    #[test]
+    fn governed_liveness_honors_cancellation() {
+        use crate::Budget;
+        let (sys, x) = counter(false);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let budget = Budget::default();
+        budget.request_cancel();
+        let run = check_liveness_governed(
+            &sys,
+            &graph,
+            &LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3))),
+            &budget,
+        )
+        .unwrap();
+        assert!(run.verdict.is_none());
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(crate::ExhaustReason::Cancelled)
+        ));
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! Propositions 1–4 strip `C` and `+v`) of the Composition Theorem are
 //! discharged.
 
+use crate::budget::{Budget, Governed, Meter, Outcome};
 use crate::invariant::trace_counterexample;
-use crate::{CheckError, Counterexample, StateGraph, System, Verdict};
+use crate::{CheckError, Counterexample, ExhaustReason, StateGraph, System, Verdict};
 use opentla_kernel::{box_action, Formula, StatePair, Substitution};
 use opentla_semantics::safety_canonical;
 
@@ -38,6 +39,25 @@ impl SimulationReport {
     }
 }
 
+/// The result of a governed simulation check: a report when the run
+/// reached a decision before the budget ran out, and the resource
+/// [`Outcome`] either way.
+#[derive(Clone, Debug)]
+pub struct SimulationRun {
+    /// The simulation report, or `None` if the budget ran out before
+    /// every state and edge was checked. A `Some` violation is always
+    /// authoritative, even under an exhausted budget.
+    pub report: Option<SimulationReport>,
+    /// Whether the run covered every proof obligation.
+    pub outcome: Outcome,
+}
+
+impl Governed for SimulationRun {
+    fn exhaustion(&self) -> Option<&ExhaustReason> {
+        self.outcome.exhaustion()
+    }
+}
+
 /// Checks that every behavior of `system` satisfies the
 /// safety-canonical formula `target` under the refinement `mapping`
 /// (mapping the target's internal variables to state functions of the
@@ -56,6 +76,32 @@ pub fn check_simulation(
     target: &Formula,
     mapping: &Substitution,
 ) -> Result<SimulationReport, CheckError> {
+    let run =
+        check_simulation_governed(system, graph, target, mapping, &Budget::unlimited())?;
+    Ok(run
+        .report
+        .expect("unlimited budget always reaches a report"))
+}
+
+/// [`check_simulation`] under a resource [`Budget`].
+///
+/// Each state examined for the target's invariants charges the state
+/// budget and each edge examined for the target's step boxes charges
+/// the transition budget; the deadline and the cancellation flag are
+/// polled at every state. When the budget runs out the run returns
+/// `report: None` tagged [`Outcome::Exhausted`] — every obligation
+/// checked up to that point held, but the verdict is undecided.
+///
+/// # Errors
+///
+/// Same as [`check_simulation`].
+pub fn check_simulation_governed(
+    system: &System,
+    graph: &StateGraph,
+    target: &Formula,
+    mapping: &Substitution,
+    budget: &Budget,
+) -> Result<SimulationRun, CheckError> {
     let mapped = mapping.formula(target)?;
     let Some(sc) = safety_canonical(&mapped) else {
         return Err(CheckError::NotCanonical {
@@ -63,43 +109,61 @@ pub fn check_simulation(
         });
     };
     let vars = system.vars();
-    let mut edges_checked = 0usize;
+    let meter = &mut Meter::start(budget);
+    let exhausted = |reason: ExhaustReason, pending: usize| SimulationRun {
+        report: None,
+        outcome: Outcome::Exhausted {
+            reason,
+            frontier_size: pending,
+            stats: graph.stats(),
+        },
+    };
+    let violated = |cx: Counterexample, edges: usize| SimulationRun {
+        report: Some(SimulationReport {
+            verdict: Verdict::Violated(cx),
+            states: graph.len(),
+            edges,
+        }),
+        outcome: Outcome::Complete,
+    };
 
     // 1. Initial predicates.
     for id in graph.init() {
+        if let Some(reason) = meter.checkpoint() {
+            return Ok(exhausted(reason, graph.len()));
+        }
         let s = graph.state(*id);
         for p in &sc.init {
             if !p.holds_state(s)? {
-                return Ok(SimulationReport {
-                    verdict: Verdict::Violated(trace_counterexample(
-                        system,
-                        graph,
-                        *id,
-                        format!(
-                            "initial condition of the target fails: {}",
-                            p.display(vars)
-                        ),
-                    )),
-                    states: graph.len(),
-                    edges: edges_checked,
-                });
+                let cx = trace_counterexample(
+                    system,
+                    graph,
+                    *id,
+                    format!(
+                        "initial condition of the target fails: {}",
+                        p.display(vars)
+                    ),
+                );
+                return Ok(violated(cx, meter.transitions_used()));
             }
         }
     }
     // 2. Invariants.
     for (id, s) in graph.states().iter().enumerate() {
+        if let Some(reason) =
+            meter.checkpoint().or_else(|| meter.charge_state())
+        {
+            return Ok(exhausted(reason, graph.len() - id));
+        }
         for p in &sc.invariants {
             if !p.holds_state(s)? {
-                return Ok(SimulationReport {
-                    verdict: Verdict::Violated(trace_counterexample(
-                        system,
-                        graph,
-                        id,
-                        format!("target invariant fails: {}", p.display(vars)),
-                    )),
-                    states: graph.len(),
-                    edges: edges_checked,
-                });
+                let cx = trace_counterexample(
+                    system,
+                    graph,
+                    id,
+                    format!("target invariant fails: {}", p.display(vars)),
+                );
+                return Ok(violated(cx, meter.transitions_used()));
             }
         }
     }
@@ -110,8 +174,13 @@ pub fn check_simulation(
         .map(|(a, sub)| box_action(a.clone(), sub))
         .collect();
     for (id, s) in graph.states().iter().enumerate() {
+        if let Some(reason) = meter.checkpoint() {
+            return Ok(exhausted(reason, graph.len() - id));
+        }
         for e in graph.edges(id) {
-            edges_checked += 1;
+            if let Some(reason) = meter.charge_transition() {
+                return Ok(exhausted(reason, graph.len() - id));
+            }
             let t = graph.state(e.target);
             let pair = StatePair::new(s, t);
             for (bi, b) in boxes.iter().enumerate() {
@@ -136,19 +205,18 @@ pub fn check_simulation(
                         actions,
                         None,
                     );
-                    return Ok(SimulationReport {
-                        verdict: Verdict::Violated(cx),
-                        states: graph.len(),
-                        edges: edges_checked,
-                    });
+                    return Ok(violated(cx, meter.transitions_used()));
                 }
             }
         }
     }
-    Ok(SimulationReport {
-        verdict: Verdict::Holds,
-        states: graph.len(),
-        edges: edges_checked,
+    Ok(SimulationRun {
+        report: Some(SimulationReport {
+            verdict: Verdict::Holds,
+            states: graph.len(),
+            edges: meter.transitions_used(),
+        }),
+        outcome: Outcome::Complete,
     })
 }
 
@@ -255,6 +323,57 @@ mod tests {
         let bad = Formula::pred(Expr::var(n).le(Expr::int(2))).always();
         let report = check_simulation(&sys, &graph, &bad, &mapping).unwrap();
         assert!(!report.holds());
+    }
+
+    #[test]
+    fn governed_simulation_reports_exhaustion_not_error() {
+        use crate::{escalate, Budget, ExhaustReason};
+        let (sys, lo, hi, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let mapping = Substitution::new([(
+            n,
+            Expr::int(2).mul(Expr::var(hi)).add(Expr::var(lo)),
+        )]);
+        let spec = abstract_spec(n);
+        // One transition is not enough for the 4 edges of the graph.
+        let budget = Budget::default().transitions(1);
+        let run = check_simulation_governed(&sys, &graph, &spec, &mapping, &budget)
+            .unwrap();
+        assert!(run.report.is_none());
+        assert_eq!(
+            run.outcome.exhaustion(),
+            Some(&ExhaustReason::TransitionLimit { limit: 1 })
+        );
+        // Escalating the budget reaches a decision.
+        let run = escalate(&budget, 8, 3, |b| {
+            check_simulation_governed(&sys, &graph, &spec, &mapping, b)
+        })
+        .unwrap();
+        assert!(run.outcome.is_complete());
+        assert!(run.report.unwrap().holds());
+    }
+
+    #[test]
+    fn governed_simulation_honors_cancellation() {
+        use crate::Budget;
+        let (sys, lo, hi, n) = setup();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let mapping = Substitution::new([(
+            n,
+            Expr::int(2).mul(Expr::var(hi)).add(Expr::var(lo)),
+        )]);
+        let budget = Budget::default();
+        budget.request_cancel();
+        let run = check_simulation_governed(
+            &sys,
+            &graph,
+            &abstract_spec(n),
+            &mapping,
+            &budget,
+        )
+        .unwrap();
+        assert!(run.report.is_none());
+        assert!(!run.outcome.is_complete());
     }
 
     #[test]

@@ -174,6 +174,121 @@ pub fn chaos_environment(
     builder.build().expect("chaos environment is well-formed")
 }
 
+/// A precise `⊳` diagnosis of how (and when) the environment first
+/// broke the assumption `E` on some reachable behavior.
+///
+/// States of a behavior are numbered from 0; "`E` broken at step `k`"
+/// means the prefix ending in state `k` is the first prefix violating
+/// `E` (`k = 0` when the initial state already violates it). Because
+/// the verdict holds, the guarantee `M` was still intact at state `k` —
+/// `M` held `k + 1` steps, the one-step-longer margin `E ⊳ M` demands.
+#[derive(Clone, Debug)]
+pub struct AssumptionBreak {
+    /// Index of the first state whose prefix violates the assumption.
+    pub step: usize,
+    /// Name of the environment action whose step broke the assumption
+    /// (`None` when the initial state already violates it).
+    pub action: Option<String>,
+    /// The violated conjunct of the assumption (initial predicate,
+    /// invariant, or step box), rendered with variable names.
+    pub conjunct: String,
+    /// A shortest behavior exhibiting the break; its last state is
+    /// state `step`.
+    pub trace: Counterexample,
+}
+
+impl std::fmt::Display for AssumptionBreak {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.action {
+            Some(a) => write!(
+                f,
+                "assumption violated by environment at step {}: action {} \
+                 broke conjunct {}; E broken at step {}, M held {} steps — \
+                 the one-step-longer margin E ⊳ M requires",
+                self.step,
+                a,
+                self.conjunct,
+                self.step,
+                self.step + 1
+            ),
+            None => write!(
+                f,
+                "assumption violated by environment at step 0: the initial \
+                 state breaks conjunct {}; E broken at step 0, M held 1 step — \
+                 the one-step-longer margin E ⊳ M requires",
+                self.conjunct
+            ),
+        }
+    }
+}
+
+/// The result of a diagnosed `⊳` safety check: the verdict, plus —
+/// when the environment can break the assumption at all — the earliest
+/// such break with its offending action and conjunct.
+#[derive(Clone, Debug)]
+pub struct AgReport {
+    /// Whether `E ⊳ M` holds on every reachable behavior.
+    pub verdict: Verdict,
+    /// The earliest assumption break reachable while the guarantee was
+    /// still intact, if any. `None` with a holding verdict means the
+    /// environment never misbehaves (the cooperative case); `Some`
+    /// means `⊳` was genuinely exercised.
+    pub env_break: Option<AssumptionBreak>,
+}
+
+impl AgReport {
+    /// Whether `E ⊳ M` holds.
+    pub fn holds(&self) -> bool {
+        self.verdict.holds()
+    }
+}
+
+/// The first conjunct of `sc` (initial predicate or invariant) failing
+/// in state `s`, rendered with `vars` names.
+fn failing_state_conjunct(
+    sc: &SafetyCanonical,
+    s: &State,
+    vars: &Vars,
+) -> Result<Option<String>, SpecError> {
+    for p in sc.init.iter().chain(sc.invariants.iter()) {
+        if !p.holds_state(s).map_err(opentla_check::CheckError::from)? {
+            return Ok(Some(p.display(vars).to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// The first conjunct of `sc` (step box or invariant) failing on the
+/// transition `pair`, rendered with `vars` names.
+fn failing_step_conjunct(
+    sc: &SafetyCanonical,
+    pair: StatePair<'_>,
+    vars: &Vars,
+) -> Result<Option<String>, SpecError> {
+    for (a, sub) in &sc.boxes {
+        if !opentla_kernel::box_action(a.clone(), sub)
+            .holds_action(pair)
+            .map_err(opentla_check::CheckError::from)?
+        {
+            let subscript: Vec<&str> = sub.iter().map(|v| vars.name(*v)).collect();
+            return Ok(Some(format!(
+                "□[{}]_⟨{}⟩",
+                a.display(vars),
+                subscript.join(", ")
+            )));
+        }
+    }
+    for p in &sc.invariants {
+        if !p
+            .holds_state(pair.new)
+            .map_err(opentla_check::CheckError::from)?
+        {
+            return Ok(Some(p.display(vars).to_string()));
+        }
+    }
+    Ok(None)
+}
+
 /// Checks the safety part of "`system` realizes `E ⊳ M`": on every
 /// reachable behavior of the (closed) `system`, the guarantee must not
 /// be violated unless the assumption was violated *strictly earlier*.
@@ -183,6 +298,8 @@ pub fn chaos_environment(
 /// (`both hold` / `assumption already broken`) in product with the
 /// graph, which is exactly the first-failure comparison `m₀ > n₀`
 /// defining `⊳` (see `opentla-semantics`).
+///
+/// This is the verdict-only form of [`check_ag_safety_diagnosed`].
 ///
 /// # Errors
 ///
@@ -197,40 +314,32 @@ pub fn check_ag_safety(
     env: &Formula,
     sys: &Formula,
 ) -> Result<Verdict, SpecError> {
+    Ok(check_ag_safety_diagnosed(system, graph, env, sys)?.verdict)
+}
+
+/// [`check_ag_safety`] with the full `⊳` diagnosis: the returned
+/// [`AgReport`] additionally pinpoints the earliest reachable
+/// assumption break — which environment action broke which conjunct of
+/// `E` at which step — so a holding verdict over a hostile environment
+/// reads "M held k+1 steps, E broken at step k" rather than a bare
+/// "holds".
+///
+/// # Errors
+///
+/// As for [`check_ag_safety`].
+pub fn check_ag_safety_diagnosed(
+    system: &System,
+    graph: &StateGraph,
+    env: &Formula,
+    sys: &Formula,
+) -> Result<AgReport, SpecError> {
     let env_sc = safety_canonical(env).ok_or(opentla_check::CheckError::NotCanonical {
         context: "check_ag_safety (assumption)",
     })?;
     let sys_sc = safety_canonical(sys).ok_or(opentla_check::CheckError::NotCanonical {
         context: "check_ag_safety (guarantee)",
     })?;
-
-    let first_ok = |sc: &SafetyCanonical, s: &State| -> Result<bool, SpecError> {
-        for p in sc.init.iter().chain(sc.invariants.iter()) {
-            if !p.holds_state(s).map_err(opentla_check::CheckError::from)? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    };
-    let step_ok = |sc: &SafetyCanonical, pair: StatePair<'_>| -> Result<bool, SpecError> {
-        for (a, sub) in &sc.boxes {
-            if !opentla_kernel::box_action(a.clone(), sub)
-                .holds_action(pair)
-                .map_err(opentla_check::CheckError::from)?
-            {
-                return Ok(false);
-            }
-        }
-        for p in &sc.invariants {
-            if !p
-                .holds_state(pair.new)
-                .map_err(opentla_check::CheckError::from)?
-            {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    };
+    let vars = system.vars();
 
     // Monitor state: false = both intact, true = assumption broken.
     // (Guarantee breaking while the assumption is intact — or on the
@@ -240,21 +349,62 @@ pub fn check_ag_safety(
     type MonitorParents = HashMap<(usize, bool), Option<(usize, bool, usize)>>;
     let mut seen: MonitorParents = HashMap::new();
     let mut queue = std::collections::VecDeque::new();
+    // The earliest (BFS-first) observed assumption break: the monitor
+    // key where E first failed, plus the offending action and conjunct.
+    let mut env_break: Option<((usize, bool), Option<usize>, String)> = None;
+
+    // Reconstructs the monitor trace ending at `last`, through `seen`.
+    let rebuild = |seen: &MonitorParents, last: (usize, bool), reason: String| {
+        let mut rev = Vec::new();
+        let mut cur = last;
+        loop {
+            match seen[&cur] {
+                Some((pid, pflag, action)) => {
+                    rev.push((Some(action), cur.0));
+                    cur = (pid, pflag);
+                }
+                None => {
+                    rev.push((None, cur.0));
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        let states = rev.iter().map(|(_, n)| graph.state(*n).clone()).collect();
+        let actions = rev
+            .iter()
+            .map(|(a, _)| a.map(|i| system.actions()[i].name().to_string()))
+            .collect();
+        Counterexample::new(reason, states, actions, None)
+    };
+
     for &id in graph.init() {
         let s = graph.state(id);
-        if !first_ok(&sys_sc, s)? {
+        if let Some(conjunct) = failing_state_conjunct(&sys_sc, s, vars)? {
             // m₀ = 1 ≤ n₀ always.
-            return Ok(Verdict::Violated(Counterexample::new(
-                "guarantee's initial condition fails (E ⊳ M requires M to hold \
-                 initially, unconditionally)",
-                vec![s.clone()],
-                vec![None],
-                None,
-            )));
+            return Ok(AgReport {
+                verdict: Verdict::Violated(Counterexample::new(
+                    format!(
+                        "guarantee's initial condition fails at step 0 \
+                         (violated conjunct: {conjunct}): E ⊳ M requires M \
+                         to hold initially, unconditionally"
+                    ),
+                    vec![s.clone()],
+                    vec![None],
+                    None,
+                )),
+                env_break: None,
+            });
         }
-        let env_broken = !first_ok(&env_sc, s)?;
+        let broken_conjunct = failing_state_conjunct(&env_sc, s, vars)?;
+        let env_broken = broken_conjunct.is_some();
         if seen.insert((id, env_broken), None).is_none() {
             queue.push_back((id, env_broken));
+            if env_break.is_none() {
+                if let Some(conjunct) = broken_conjunct {
+                    env_break = Some(((id, true), None, conjunct));
+                }
+            }
         }
     }
     while let Some((id, env_broken)) = queue.pop_front() {
@@ -266,45 +416,65 @@ pub fn check_ag_safety(
         for e in graph.edges(id) {
             let t = graph.state(e.target);
             let pair = StatePair::new(s, t);
-            if !step_ok(&sys_sc, pair)? {
+            if let Some(conjunct) = failing_step_conjunct(&sys_sc, pair, vars)? {
                 // Violation: reconstruct the trace through the monitor.
-                let mut rev = vec![(Some(e.action), e.target)];
-                let mut cur = (id, env_broken);
-                loop {
-                    match seen[&cur] {
-                        Some((pid, pflag, action)) => {
-                            rev.push((Some(action), cur.0));
-                            cur = (pid, pflag);
-                        }
-                        None => {
-                            rev.push((None, cur.0));
-                            break;
-                        }
-                    }
-                }
-                rev.reverse();
-                let states = rev.iter().map(|(_, n)| graph.state(*n).clone()).collect();
-                let actions = rev
-                    .iter()
-                    .map(|(a, _)| a.map(|i| system.actions()[i].name().to_string()))
-                    .collect();
-                return Ok(Verdict::Violated(Counterexample::new(
-                    "guarantee violated while the assumption still held \
-                     (or on the same step): E ⊳ M fails",
-                    states,
-                    actions,
-                    None,
-                )));
+                let action = system.actions()[e.action].name().to_string();
+                let base = rebuild(&seen, (id, env_broken), String::new());
+                let step = base.states().len();
+                let mut states = base.states().to_vec();
+                let mut actions = base.actions().to_vec();
+                states.push(t.clone());
+                actions.push(Some(action.clone()));
+                return Ok(AgReport {
+                    verdict: Verdict::Violated(Counterexample::new(
+                        format!(
+                            "guarantee violated at step {step} by action \
+                             {action} while the assumption still held, or on \
+                             the same step (violated conjunct: {conjunct}): \
+                             E ⊳ M fails"
+                        ),
+                        states,
+                        actions,
+                        None,
+                    )),
+                    env_break: None,
+                });
             }
-            let next_broken = !step_ok(&env_sc, pair)?;
+            let broken_conjunct = failing_step_conjunct(&env_sc, pair, vars)?;
+            let next_broken = broken_conjunct.is_some();
             let key = (e.target, next_broken);
             if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(key) {
                 entry.insert(Some((id, env_broken, e.action)));
                 queue.push_back(key);
+                if next_broken && env_break.is_none() {
+                    if let Some(conjunct) = broken_conjunct {
+                        env_break = Some((key, Some(e.action), conjunct));
+                    }
+                }
             }
         }
     }
-    Ok(Verdict::Holds)
+    let env_break = env_break.map(|(key, action, conjunct)| {
+        let action = action.map(|i| system.actions()[i].name().to_string());
+        let trace = rebuild(&seen, key, String::new());
+        let mut brk = AssumptionBreak {
+            step: trace.states().len() - 1,
+            action,
+            conjunct,
+            trace,
+        };
+        brk.trace = Counterexample::new(
+            brk.to_string(),
+            brk.trace.states().to_vec(),
+            brk.trace.actions().to_vec(),
+            None,
+        );
+        brk
+    });
+    Ok(AgReport {
+        verdict: Verdict::Holds,
+        env_break,
+    })
 }
 
 #[cfg(test)]
@@ -518,6 +688,110 @@ mod tests {
             .realize_safety(&vars, &eager, &Default::default())
             .unwrap();
         assert!(!verdict.holds());
+    }
+
+    #[test]
+    fn diagnosed_break_in_initial_state() {
+        // Chaos owns d with no initial constraint: some initial state
+        // already violates "d stays 0", so E is broken at step 0 and M
+        // held 1 step.
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let pi_c = copier("Pi_c", c, d);
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        let sys = closed_product(&vars, &[&pi_c, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let report = check_ag_safety_diagnosed(&sys, &graph, &e, &m).unwrap();
+        assert!(report.holds());
+        let brk = report.env_break.expect("chaos must break E");
+        assert_eq!(brk.step, 0);
+        assert!(brk.action.is_none());
+        assert!(brk.trace.reason().contains("E broken at step 0"));
+        assert!(brk.trace.reason().contains("M held 1 step"));
+    }
+
+    #[test]
+    fn diagnosed_break_names_action_step_and_conjunct() {
+        // The environment starts well-behaved (d = 0) and breaks E with
+        // a named action one step in: the diagnosis must say which
+        // action, at which step, violated which conjunct.
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let pi_c = copier("Pi_c", c, d);
+        let env = ComponentSpec::builder("env")
+            .outputs([d])
+            .inputs([c])
+            .init(Init::new([(d, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "sabotage_d",
+                Expr::var(d).eq(Expr::int(0)),
+                vec![(d, Expr::int(1))],
+            ))
+            .build()
+            .unwrap();
+        let sys = closed_product(&vars, &[&pi_c, &env]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let report = check_ag_safety_diagnosed(&sys, &graph, &e, &m).unwrap();
+        assert!(report.holds(), "{:?}", report.verdict.counterexample());
+        let brk = report.env_break.expect("the saboteur must break E");
+        assert_eq!(brk.step, 1);
+        assert_eq!(brk.action.as_deref(), Some("sabotage_d"));
+        assert!(brk.conjunct.contains('d'), "conjunct: {}", brk.conjunct);
+        let text = brk.to_string();
+        assert!(text.contains("E broken at step 1"), "{text}");
+        assert!(text.contains("M held 2 steps"), "{text}");
+        assert!(text.contains("sabotage_d"), "{text}");
+        assert_eq!(brk.trace.states().len(), 2);
+    }
+
+    #[test]
+    fn cooperative_environment_reports_no_break() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let sys =
+            closed_product(&vars, &[&stays_zero("Mc", c, d), &stays_zero("Md", d, c)])
+                .unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let report = check_ag_safety_diagnosed(&sys, &graph, &e, &m).unwrap();
+        assert!(report.holds());
+        assert!(report.env_break.is_none());
+    }
+
+    #[test]
+    fn violation_diagnosis_names_action_and_step() {
+        let mut vars = Vars::new();
+        let c = vars.declare("c", Domain::bits());
+        let d = vars.declare("d", Domain::bits());
+        let eager = ComponentSpec::builder("eager")
+            .outputs([c])
+            .inputs([d])
+            .init(Init::new([(c, Value::Int(0))]))
+            .action(GuardedAction::new(
+                "spoil",
+                Expr::bool(true),
+                vec![(c, Expr::int(1))],
+            ))
+            .build()
+            .unwrap();
+        let chaos = chaos_environment("chaos_d", &vars, &[d]);
+        let sys = closed_product(&vars, &[&eager, &chaos]).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let e = stays_zero("E", d, c).safety_formula();
+        let m = stays_zero("M", c, d).safety_formula();
+        let report = check_ag_safety_diagnosed(&sys, &graph, &e, &m).unwrap();
+        let cx = report.verdict.counterexample().expect("eager must fail");
+        assert!(cx.reason().contains("spoil"), "{}", cx.reason());
+        assert!(cx.reason().contains("step 1"), "{}", cx.reason());
+        assert!(cx.reason().contains("violated conjunct"), "{}", cx.reason());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Proof certificates: the audit trail of a rule application.
 
-use opentla_check::Counterexample;
+use opentla_check::{Counterexample, Outcome};
 use opentla_kernel::Vars;
 use std::fmt;
 
@@ -16,6 +16,10 @@ pub enum Method {
     InitialStates,
     /// Fair-lasso search (liveness).
     Liveness,
+    /// Reachability of the complete system (the substrate every other
+    /// method runs on; appears only when exploration itself exhausts
+    /// its budget).
+    Exploration,
 }
 
 impl fmt::Display for Method {
@@ -25,6 +29,7 @@ impl fmt::Display for Method {
             Method::Simulation => "simulation",
             Method::InitialStates => "initial states",
             Method::Liveness => "liveness",
+            Method::Exploration => "exploration",
         };
         f.write_str(s)
     }
@@ -40,12 +45,29 @@ pub enum ObligationStatus {
     },
     /// Refuted, with a counterexample.
     Failed(Counterexample),
+    /// Neither proved nor refuted: the checking budget ran out first.
+    /// The [`Outcome`] records why and how much ground was covered.
+    Undecided {
+        /// The (exhausted) resource outcome of the check.
+        outcome: Outcome,
+    },
 }
 
 impl ObligationStatus {
     /// Whether the obligation was discharged.
     pub fn proved(&self) -> bool {
         matches!(self, ObligationStatus::Proved { .. })
+    }
+
+    /// Whether the obligation was refuted (as opposed to merely
+    /// undecided).
+    pub fn failed(&self) -> bool {
+        matches!(self, ObligationStatus::Failed(_))
+    }
+
+    /// Whether the budget ran out before the obligation was decided.
+    pub fn undecided(&self) -> bool {
+        matches!(self, ObligationStatus::Undecided { .. })
     }
 }
 
@@ -84,20 +106,49 @@ pub struct Certificate {
 
 impl Certificate {
     /// Whether every obligation was discharged — i.e. the conclusion
-    /// is established.
+    /// is established. An undecided certificate does not hold (but see
+    /// [`Certificate::decided`] to tell exhaustion from refutation).
     pub fn holds(&self) -> bool {
         self.obligations.iter().all(|o| o.status.proved())
     }
 
-    /// The first failed obligation, if any.
+    /// Whether every obligation was decided one way or the other —
+    /// `false` means some check's budget ran out and the conclusion is
+    /// open, not refuted. Retry with a larger [`Budget`]
+    /// (`opentla_check::Budget`), e.g. via `opentla_check::escalate`.
+    ///
+    /// [`Budget`]: opentla_check::Budget
+    pub fn decided(&self) -> bool {
+        !self.obligations.iter().any(|o| o.status.undecided())
+    }
+
+    /// The first *refuted* obligation, if any (undecided obligations
+    /// are not failures; see [`Certificate::first_undecided`]).
     pub fn first_failure(&self) -> Option<&Obligation> {
-        self.obligations.iter().find(|o| !o.status.proved())
+        self.obligations.iter().find(|o| o.status.failed())
+    }
+
+    /// The first obligation whose check exhausted its budget, if any.
+    pub fn first_undecided(&self) -> Option<&Obligation> {
+        self.obligations.iter().find(|o| o.status.undecided())
     }
 
     /// Renders the certificate with variable names (for
     /// counterexamples).
     pub fn display<'a>(&'a self, vars: &'a Vars) -> CertificateDisplay<'a> {
         CertificateDisplay { cert: self, vars }
+    }
+}
+
+impl opentla_check::Governed for Certificate {
+    /// A certificate is "exhausted" when any obligation is undecided,
+    /// making whole rule applications retryable with
+    /// `opentla_check::escalate`.
+    fn exhaustion(&self) -> Option<&opentla_check::ExhaustReason> {
+        self.obligations.iter().find_map(|o| match &o.status {
+            ObligationStatus::Undecided { outcome } => outcome.exhaustion(),
+            _ => None,
+        })
     }
 }
 
@@ -121,7 +172,13 @@ impl fmt::Display for CertificateDisplay<'_> {
         writeln!(
             f,
             "verdict: {}",
-            if c.holds() { "PROVED" } else { "FAILED" }
+            if c.holds() {
+                "PROVED"
+            } else if c.first_failure().is_some() {
+                "FAILED"
+            } else {
+                "UNDECIDED (budget exhausted)"
+            }
         )?;
         for o in &c.obligations {
             match &o.status {
@@ -135,6 +192,13 @@ impl fmt::Display for CertificateDisplay<'_> {
                 ObligationStatus::Failed(cx) => {
                     writeln!(f, "  ✗ {} [{}]  {}", o.id, o.method, o.description)?;
                     write!(f, "{}", cx.display(self.vars))?;
+                }
+                ObligationStatus::Undecided { outcome } => {
+                    writeln!(
+                        f,
+                        "  ? {} [{}]  {} — {}",
+                        o.id, o.method, o.description, outcome
+                    )?;
                 }
             }
         }
@@ -180,6 +244,51 @@ mod tests {
         });
         assert!(!cert.holds());
         assert_eq!(cert.first_failure().unwrap().id, "H2b");
+    }
+
+    #[test]
+    fn undecided_is_neither_proved_nor_failed() {
+        use opentla_check::{ExhaustReason, GraphStats};
+        let outcome = Outcome::Exhausted {
+            reason: ExhaustReason::StateLimit { limit: 3 },
+            frontier_size: 2,
+            stats: GraphStats {
+                states: 3,
+                transitions: 1,
+                deadlocks: 0,
+                depth: 1,
+            },
+        };
+        let cert = Certificate {
+            rule: "Composition Theorem".into(),
+            conclusion: "E ⊳ M".into(),
+            obligations: vec![
+                proved("G"),
+                Obligation {
+                    id: "H2a".into(),
+                    description: "simulation".into(),
+                    method: Method::Simulation,
+                    status: ObligationStatus::Undecided { outcome },
+                },
+            ],
+            product_states: 3,
+            product_edges: 1,
+        };
+        assert!(!cert.holds());
+        assert!(!cert.decided());
+        assert!(cert.first_failure().is_none());
+        assert_eq!(cert.first_undecided().unwrap().id, "H2a");
+        use opentla_check::Governed;
+        assert_eq!(
+            cert.exhaustion(),
+            Some(&ExhaustReason::StateLimit { limit: 3 })
+        );
+        let mut vars = Vars::new();
+        vars.declare("x", Domain::bits());
+        let text = cert.display(&vars).to_string();
+        assert!(text.contains("UNDECIDED"), "{text}");
+        assert!(text.contains("state limit of 3"), "{text}");
+        assert!(text.contains("? H2a"), "{text}");
     }
 
     #[test]

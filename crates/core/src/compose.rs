@@ -6,7 +6,8 @@ use crate::{
     ObligationStatus, SpecError,
 };
 use opentla_check::{
-    check_liveness, check_simulation, explore, ExploreOptions, LiveTarget, Verdict,
+    check_liveness_governed, check_simulation_governed, explore_governed, Budget,
+    ExploreOptions, LiveTarget, Verdict,
 };
 use opentla_kernel::{Formula, Substitution, Vars};
 
@@ -18,6 +19,13 @@ pub struct CompositionOptions {
     /// Whether to check the liveness half of hypothesis 2(b). Defaults
     /// to `true`; disable only for safety-only studies.
     pub skip_liveness: bool,
+    /// Resource budget for every engine run (exploration and each
+    /// obligation check). Exhaustion is not an error: the affected
+    /// obligations are recorded as
+    /// [`ObligationStatus::Undecided`](crate::ObligationStatus) and the
+    /// certificate's [`Certificate::decided`](crate::Certificate) turns
+    /// false. Defaults to unlimited.
+    pub budget: Budget,
 }
 
 /// A composition problem: components `E_j ⊳ M_j`, a target `E ⊳ M`,
@@ -203,7 +211,15 @@ fn build_certificate(
     let mut members: Vec<&ComponentSpec> = vec![target_env];
     members.extend(guarantees.iter().copied());
     let product = closed_product(problem.vars, &members)?;
-    let graph = explore(&product, &options.explore)?;
+    // The legacy `explore.max_states` option narrows the budget, so old
+    // call sites keep their limit while gaining graceful degradation.
+    let budget = if options.explore.max_states < options.budget.max_states {
+        options.budget.clone().states(options.explore.max_states)
+    } else {
+        options.budget.clone()
+    };
+    let exploration = explore_governed(&product, &budget)?;
+    let graph = &exploration.graph;
 
     let mut obligations = Vec::new();
 
@@ -238,11 +254,41 @@ fn build_certificate(
         status: ObligationStatus::Proved { states: 0 },
     });
 
+    // An exhausted exploration leaves a partial graph: every remaining
+    // hypothesis would be checked over a strict subset of the reachable
+    // states, so record them all as undecided rather than pretend.
+    if !exploration.outcome.is_complete() {
+        obligations.push(Obligation {
+            id: "exploration".into(),
+            description: "reachability of the complete system C(E) ∧ ∧ C(M_j) \
+                          (every semantic hypothesis depends on it)"
+                .into(),
+            method: Method::Exploration,
+            status: ObligationStatus::Undecided {
+                outcome: exploration.outcome.clone(),
+            },
+        });
+        return Ok(Certificate {
+            rule: rule.to_string(),
+            conclusion: conclusion_override.unwrap_or_else(|| {
+                default_conclusion(problem)
+            }),
+            obligations,
+            product_states: graph.len(),
+            product_edges: graph.edge_count(),
+        });
+    }
+
     // --- hypothesis 1: C(E) ∧ ∧ C(M_j) ⇒ E_i ------------------------------
     let empty = Substitution::default();
     for ag in &problem.components {
-        let report =
-            check_simulation(&product, &graph, &ag.env().safety_formula(), &empty)?;
+        let run = check_simulation_governed(
+            &product,
+            graph,
+            &ag.env().safety_formula(),
+            &empty,
+            &budget,
+        )?;
         obligations.push(Obligation {
             id: format!("H1[{}]", ag.env().name()),
             description: format!(
@@ -251,12 +297,7 @@ fn build_certificate(
                 ag.sys().name()
             ),
             method: Method::Simulation,
-            status: match report.verdict {
-                Verdict::Holds => ObligationStatus::Proved {
-                    states: report.states,
-                },
-                Verdict::Violated(cx) => ObligationStatus::Failed(cx),
-            },
+            status: simulation_status(run),
         });
     }
 
@@ -295,11 +336,12 @@ fn build_certificate(
         status: init_status,
     });
     // Proposition 3 then reduces 2(a) to the +‑free simulation.
-    let report = check_simulation(
+    let run = check_simulation_governed(
         &product,
-        &graph,
+        graph,
         &target_sys.safety_formula(),
         &problem.mapping,
+        &budget,
     )?;
     obligations.push(Obligation {
         id: "H2a".into(),
@@ -309,12 +351,7 @@ fn build_certificate(
             target_sys.name()
         ),
         method: Method::Simulation,
-        status: match report.verdict {
-            Verdict::Holds => ObligationStatus::Proved {
-                states: report.states,
-            },
-            Verdict::Violated(cx) => ObligationStatus::Failed(cx),
-        },
+        status: simulation_status(run),
     });
 
     // --- hypothesis 2(b): E ∧ ∧ M_j ⇒ M (liveness half) -------------------
@@ -335,10 +372,11 @@ fn build_certificate(
             let enabled = problem
                 .mapping
                 .expr(&target_sys.fairness_enabled_expr(i))?;
-            let verdict = check_liveness(
+            let run = check_liveness_governed(
                 &product,
-                &graph,
+                graph,
                 &LiveTarget::fair_with_enabled(mapped_fair, enabled),
+                &budget,
             )?;
             obligations.push(Obligation {
                 id: format!("H2b/fairness[{i}]"),
@@ -348,28 +386,21 @@ fn build_certificate(
                     target_sys.name()
                 ),
                 method: Method::Liveness,
-                status: match verdict {
-                    Verdict::Holds => ObligationStatus::Proved {
+                status: match run.verdict {
+                    Some(Verdict::Holds) => ObligationStatus::Proved {
                         states: graph.len(),
                     },
-                    Verdict::Violated(cx) => ObligationStatus::Failed(cx),
+                    Some(Verdict::Violated(cx)) => ObligationStatus::Failed(cx),
+                    None => ObligationStatus::Undecided {
+                        outcome: run.outcome,
+                    },
                 },
             });
         }
     }
 
-    let conclusion = conclusion_override.unwrap_or_else(|| {
-        let antecedents: Vec<String> = problem
-            .components
-            .iter()
-            .map(|ag| format!("({})", ag.name()))
-            .collect();
-        format!(
-            "⊨ G ∧ {} ⇒ ({})",
-            antecedents.join(" ∧ "),
-            problem.target.name()
-        )
-    });
+    let conclusion =
+        conclusion_override.unwrap_or_else(|| default_conclusion(problem));
     Ok(Certificate {
         rule: rule.to_string(),
         conclusion,
@@ -377,6 +408,36 @@ fn build_certificate(
         product_states: graph.len(),
         product_edges: graph.edge_count(),
     })
+}
+
+/// The theorem's conclusion `⊨ G ∧ ∧(E_j ⊳ M_j) ⇒ (E ⊳ M)` in the
+/// paper's notation.
+fn default_conclusion(problem: &CompositionProblem<'_>) -> String {
+    let antecedents: Vec<String> = problem
+        .components
+        .iter()
+        .map(|ag| format!("({})", ag.name()))
+        .collect();
+    format!(
+        "⊨ G ∧ {} ⇒ ({})",
+        antecedents.join(" ∧ "),
+        problem.target.name()
+    )
+}
+
+/// Folds a governed simulation run into an obligation status.
+fn simulation_status(run: opentla_check::SimulationRun) -> ObligationStatus {
+    match run.report {
+        Some(report) => match report.verdict {
+            Verdict::Holds => ObligationStatus::Proved {
+                states: report.states,
+            },
+            Verdict::Violated(cx) => ObligationStatus::Failed(cx),
+        },
+        None => ObligationStatus::Undecided {
+            outcome: run.outcome,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -587,6 +648,44 @@ mod tests {
         )
         .unwrap();
         assert!(!cert.holds());
+    }
+
+    #[test]
+    fn exhausted_budget_yields_undecided_certificate() {
+        let (vars, ag_c, ag_d, target) = fig1_safety_setup();
+        let problem = CompositionProblem {
+            vars: &vars,
+            components: vec![&ag_c, &ag_d],
+            target: &target,
+            mapping: Substitution::default(),
+        };
+        let options = CompositionOptions {
+            budget: Budget::default().states(0),
+            ..CompositionOptions::default()
+        };
+        let cert = compose(&problem, &options).unwrap();
+        // Undecided, not refuted: no failure, but no proof either.
+        assert!(!cert.holds());
+        assert!(!cert.decided());
+        assert!(cert.first_failure().is_none());
+        let und = cert.first_undecided().unwrap();
+        assert_eq!(und.id, "exploration");
+        let text = cert.display(&vars).to_string();
+        assert!(text.contains("UNDECIDED"), "{text}");
+        assert!(text.contains("state limit of 0"), "{text}");
+        // Escalating the budget recovers the full proof.
+        let cert = opentla_check::escalate(&options.budget.states(1), 4, 4, |b| {
+            compose(
+                &problem,
+                &CompositionOptions {
+                    budget: b.clone(),
+                    ..CompositionOptions::default()
+                },
+            )
+        })
+        .unwrap();
+        assert!(cert.holds(), "{}", cert.display(&vars));
+        assert_eq!(cert.obligations.len(), 6);
     }
 
     #[test]

@@ -34,7 +34,17 @@
 //!   environment assumption, `(E ⊳ M') ⇒ (E ⊳ M)`.
 //! * [`check_ag_safety`] decides whether an implementation *realizes*
 //!   an assumption/guarantee specification (safety part), by running
-//!   the implementation against a chaos environment with an `⊳` monitor.
+//!   the implementation against a chaos environment with an `⊳` monitor;
+//!   [`check_ag_safety_diagnosed`] additionally pinpoints *where* the
+//!   environment first broke the assumption ("M held k+1 steps, E
+//!   broken at step k").
+//! * The [`faults`] combinators (re-exported from `opentla-check`)
+//!   manufacture adversarial environments — lossy channels, duplicating
+//!   channels, crash–restart components, and assumption-breaking
+//!   hostile environments — and every engine runs under a [`Budget`],
+//!   degrading to partial, [`Outcome`]-tagged results (and
+//!   [`ObligationStatus::Undecided`] certificates) when resources run
+//!   out.
 //!
 //! Interleaving composition requires the conditional-implementation
 //! guarantee `G = Disjoint(…)` (Section 2.3 and the appendix); the
@@ -63,7 +73,10 @@ mod props;
 mod refinement;
 mod suite;
 
-pub use ag::{chaos_environment, check_ag_safety, AgSpec};
+pub use ag::{
+    chaos_environment, check_ag_safety, check_ag_safety_diagnosed, AgReport, AgSpec,
+    AssumptionBreak,
+};
 pub use assembly::closed_product;
 pub use certificate::{Certificate, Method, Obligation, ObligationStatus};
 pub use component::{ComponentBuilder, ComponentSpec};
@@ -76,3 +89,9 @@ pub use props::{
     disjoint, proposition_1, proposition_2_sides, proposition_3_reduction,
     proposition_4_initial_condition, Prop3Reduction,
 };
+
+// Robustness layer, re-exported from `opentla-check` so open-system
+// studies can inject faults and govern resources without a direct
+// dependency on the checker crate.
+pub use opentla_check::faults;
+pub use opentla_check::{escalate, Budget, ExhaustReason, Governed, Outcome};

@@ -8,8 +8,8 @@
 
 use crate::{Certificate, SpecError};
 use opentla_check::{
-    check_invariant, check_liveness, check_step_invariant, LiveTarget, StateGraph,
-    System,
+    check_invariant, check_liveness, check_liveness_governed, check_step_invariant,
+    Budget, LiveTarget, StateGraph, System,
 };
 use opentla_kernel::{Expr, VarId};
 use std::fmt;
@@ -197,6 +197,52 @@ impl Suite {
         Ok(holds)
     }
 
+    /// Runs and records a liveness check under a resource [`Budget`].
+    ///
+    /// Returns `Some(holds)` when the check was decided within the
+    /// budget, and `None` when the budget ran out — the entry is then
+    /// recorded as *not* passing (conservatively), with the exhaustion
+    /// outcome in its detail, so a partial suite never reads as a
+    /// clean pass.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors from the checker.
+    pub fn liveness_governed(
+        &mut self,
+        name: impl Into<String>,
+        system: &System,
+        graph: &StateGraph,
+        target: &LiveTarget,
+        budget: &Budget,
+    ) -> Result<Option<bool>, SpecError> {
+        let run = check_liveness_governed(system, graph, target, budget)?;
+        match run.verdict {
+            Some(verdict) => {
+                let holds = verdict.holds();
+                self.entries.push(SuiteEntry {
+                    name: name.into(),
+                    kind: CheckKind::Liveness,
+                    holds,
+                    detail: verdict.counterexample().map_or_else(
+                        || "no fair violation".to_string(),
+                        |c| c.reason().to_string(),
+                    ),
+                });
+                Ok(Some(holds))
+            }
+            None => {
+                self.entries.push(SuiteEntry {
+                    name: name.into(),
+                    kind: CheckKind::Liveness,
+                    holds: false,
+                    detail: format!("undecided: {}", run.outcome),
+                });
+                Ok(None)
+            }
+        }
+    }
+
     /// Records a composition/refinement certificate.
     pub fn certificate(&mut self, name: impl Into<String>, cert: &Certificate) -> bool {
         let holds = cert.holds();
@@ -296,6 +342,40 @@ mod tests {
         assert!(text.contains("3/4 passed"), "{text}");
         assert!(text.contains("✗ terminates"), "{text}");
         assert!(text.contains("[liveness]"), "{text}");
+    }
+
+    #[test]
+    fn governed_liveness_entry_records_exhaustion() {
+        let (sys, x) = counter();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let mut suite = Suite::new("governed");
+        let target = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3)));
+        let decided = suite
+            .liveness_governed(
+                "terminates",
+                &sys,
+                &graph,
+                &target,
+                &Budget::default().transitions(0),
+            )
+            .unwrap();
+        assert!(decided.is_none());
+        assert!(!suite.holds());
+        let text = suite.to_string();
+        assert!(text.contains("undecided"), "{text}");
+        assert!(text.contains("transition limit"), "{text}");
+        // With a real budget the same check decides (and fails: no
+        // fairness forces termination).
+        let decided = suite
+            .liveness_governed(
+                "terminates (retry)",
+                &sys,
+                &graph,
+                &target,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(decided, Some(false));
     }
 
     #[test]

@@ -261,6 +261,7 @@ impl Expr {
     }
 
     /// Integer remainder `self % other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, other: Expr) -> Expr {
         Expr::Binary(BinOp::Mod, Box::new(self), Box::new(other))
     }

@@ -10,11 +10,11 @@
 
 use crate::{env_component, queue_component, Channel, FairnessStyle};
 use opentla::{
-    closed_product, compose, AgSpec, Certificate, ComponentSpec, CompositionOptions,
+    closed_product, compose, faults, AgSpec, Certificate, ComponentSpec, CompositionOptions,
     CompositionProblem, SpecError,
 };
 use opentla_check::System;
-use opentla_kernel::{Domain, Expr, Substitution, VarId, Vars};
+use opentla_kernel::{Domain, Expr, Formula, Substitution, Value, VarId, Vars};
 
 /// A chain of `k` open queues and the machinery to compose them.
 #[derive(Clone, Debug)]
@@ -163,6 +163,88 @@ impl QueueChain {
         closed_product(&self.vars, &members)
     }
 
+    /// The outer environment's assumption `QE` as a safety formula —
+    /// the `E` of the chain's target `QE ⊳ QM[big]`.
+    pub fn outer_assumption(&self) -> Formula {
+        self.env.safety_formula()
+    }
+
+    /// The abstract single queue's guarantee `QM[big]`, with its
+    /// content `q̄` eliminated through the refinement mapping — the `M`
+    /// of the chain's target, stated over the chain's own variables.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from applying the mapping (none for the mapping
+    /// built here).
+    pub fn big_queue_guarantee(&self) -> Result<Formula, SpecError> {
+        Ok(self
+            .refinement_mapping()
+            .formula(&self.big_queue.safety_formula())?)
+    }
+
+    /// The chained system whose *environment* may crash: at any moment
+    /// the outer `QE`'s wires (`c₀.sig`, `c₀.val`, `c_k.ack`) may
+    /// spontaneously revert to their initial assignment, retracting an
+    /// in-flight send or acknowledgment mid-handshake.
+    ///
+    /// A crash that retracts a pending signal violates `QE`'s step box
+    /// while stuttering every variable of (the mapped) `QM[big]` — so
+    /// `QE ⊳ QM[big]` *holds* with a genuine `⊳` diagnosis: the
+    /// guarantee outlives the assumption by one step.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the components built here.
+    pub fn crashy_env_system(&self) -> Result<System, SpecError> {
+        let sys = self.complete_system()?;
+        let first = &self.channels[0];
+        let last = &self.channels[self.len()];
+        let component = [first.sig, first.val, last.ack];
+        let reset = [
+            (first.sig, Value::Int(0)),
+            (first.val, Value::Int(0)),
+            (last.ack, Value::Int(0)),
+        ];
+        Ok(faults::crash_restart(&sys, &component, &reset)?)
+    }
+
+    /// The chained system in which queue `j` (1-based) may crash: its
+    /// outputs and buffer revert to their initial assignment, dropping
+    /// every queued element.
+    ///
+    /// Dropping elements shrinks the mapped content `q̄` without a
+    /// `Deq`, so (the mapped) `QM[big]` is violated while `QE` is still
+    /// intact — `QE ⊳ QM[big]` *fails*, and the diagnosis names the
+    /// crash action and the step it struck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is 0 or exceeds the chain length.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the components built here.
+    pub fn crashy_queue_system(&self, j: usize) -> Result<System, SpecError> {
+        assert!(
+            (1..=self.len()).contains(&j),
+            "queue index {j} out of range 1..={}",
+            self.len()
+        );
+        let sys = self.complete_system()?;
+        let input = &self.channels[j - 1];
+        let output = &self.channels[j];
+        let q = self.qs[j - 1];
+        let component = [input.ack, output.sig, output.val, q];
+        let reset = [
+            (input.ack, Value::Int(0)),
+            (output.sig, Value::Int(0)),
+            (output.val, Value::Int(0)),
+            (q, Value::empty_seq()),
+        ];
+        Ok(faults::crash_restart(&sys, &component, &reset)?)
+    }
+
     /// Proves, via the Composition Theorem, that the chain of open
     /// queues implements the single `k·N + (k−1)`-element open queue:
     /// `G ∧ ∧_j (QE[j] ⊳ QM[j]) ⇒ (QE ⊳ QM[big])`.
@@ -221,6 +303,50 @@ mod tests {
         // And the bound is tight: length 5 is reachable.
         let tight = q_bar.len().lt(Expr::int(5));
         assert!(!check_invariant(&sys, &graph, &tight).unwrap().holds());
+    }
+
+    #[test]
+    fn crashing_environment_is_outlived_by_the_big_queue() {
+        let chain = QueueChain::new(2, 1, 2, FairnessStyle::None);
+        let sys = chain.crashy_env_system().unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let report = opentla::check_ag_safety_diagnosed(
+            &sys,
+            &graph,
+            &chain.outer_assumption(),
+            &chain.big_queue_guarantee().unwrap(),
+        )
+        .unwrap();
+        assert!(report.holds(), "M must outlive the crashing environment");
+        let brk = report.env_break.expect("the crash must break QE");
+        assert_eq!(brk.action.as_deref(), Some("fault:crash_restart"));
+        let text = brk.to_string();
+        assert!(text.contains(&format!("E broken at step {}", brk.step)), "{text}");
+        assert!(
+            text.contains(&format!("M held {} steps", brk.step + 1)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn crashing_queue_refutes_the_big_queue_guarantee() {
+        let chain = QueueChain::new(2, 1, 2, FairnessStyle::None);
+        let sys = chain.crashy_queue_system(1).unwrap();
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let report = opentla::check_ag_safety_diagnosed(
+            &sys,
+            &graph,
+            &chain.outer_assumption(),
+            &chain.big_queue_guarantee().unwrap(),
+        )
+        .unwrap();
+        assert!(!report.holds(), "a crashed buffer drops queued elements");
+        let cx = match &report.verdict {
+            opentla_check::Verdict::Violated(cx) => cx,
+            other => panic!("expected a violation, got {other:?}"),
+        };
+        assert!(cx.reason().contains("fault:crash_restart"), "{}", cx.reason());
+        assert!(cx.reason().contains("violated conjunct"), "{}", cx.reason());
     }
 
     #[test]

@@ -22,9 +22,25 @@
 //! `K`, with `WF` forcing completion. In-order exactly-once content
 //! delivery is checked as complete-system invariants.
 
-use opentla::{AgSpec, Certificate, ComponentSpec, CompositionOptions, CompositionProblem, SpecError};
+use opentla::{
+    faults, AgSpec, Certificate, ComponentSpec, CompositionOptions, CompositionProblem, SpecError,
+};
 use opentla_check::{GuardedAction, Init, System};
-use opentla_kernel::{Domain, Expr, Substitution, Value, VarId, Vars};
+use opentla_kernel::{Domain, Expr, Formula, Substitution, Value, VarId, Vars};
+
+/// Index of the action named `name` in `system`.
+///
+/// # Panics
+///
+/// Panics if no action has that name (the scenario builders below only
+/// look up actions they themselves created).
+fn action_index(system: &System, name: &str) -> usize {
+    system
+        .actions()
+        .iter()
+        .position(|a| a.name() == name)
+        .unwrap_or_else(|| panic!("system has no action named {name}"))
+}
 
 /// The alternating-bit world for a stream of `K` messages.
 #[derive(Clone, Debug)]
@@ -295,7 +311,7 @@ impl AlternatingBit {
     ///
     /// Structural errors only.
     pub fn prove(&self, options: &CompositionOptions) -> Result<Certificate, SpecError> {
-        let ags = vec![
+        let ags = [
             AgSpec::new(self.sender_env(), self.sender())?,
             AgSpec::new(self.forward_env(), self.forward_wire())?,
             AgSpec::new(self.receiver_env(), self.receiver())?,
@@ -323,6 +339,64 @@ impl AlternatingBit {
         let recv = self.receiver();
         let ack = self.ack_wire();
         opentla::closed_product(&self.vars, &[&sender, &fwd, &recv, &ack])
+    }
+
+    /// The complete protocol over a *lossy* forward wire: alongside
+    /// the faithful `sync_f`, the fault variant `fault:lossy[sync_f]`
+    /// completes the bit handshake but drops the payload update, so the
+    /// receiver consumes whatever stale value sits on the wire.
+    ///
+    /// This is the flagship adversarial environment for the receiver's
+    /// `E_r ⊳ M_r`: the lossy wire eventually delivers a wrong payload,
+    /// breaking [`AlternatingBit::receiver_assumption`] — while the
+    /// receiver's own guarantee keeps holding, exactly the one-step-
+    /// longer margin `⊳` demands (see the `adversarial_robustness`
+    /// integration tests).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the components built here.
+    pub fn lossy_system(&self) -> Result<System, SpecError> {
+        let sys = self.complete_system()?;
+        let sync_f = action_index(&sys, "sync_f");
+        Ok(faults::lossy(&sys, &[sync_f], &[self.f_val])?)
+    }
+
+    /// The complete protocol over *duplicating* wires: fault variants
+    /// of `sync_f` and `sync_a` that fire twice in one step.
+    ///
+    /// Both wires are bit-flip handshakes — firing disables the guard —
+    /// so the duplicates are unsatisfiable and the faulted state space
+    /// *equals* the original's: the protocol tolerates duplication by
+    /// construction. (That is the classic alternating-bit insight, here
+    /// surfaced mechanically by a fault combinator.)
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the components built here.
+    pub fn duplicating_system(&self) -> Result<System, SpecError> {
+        let sys = self.complete_system()?;
+        let targets = [action_index(&sys, "sync_f"), action_index(&sys, "sync_a")];
+        Ok(faults::duplicate(&sys, &targets)?)
+    }
+
+    /// The receiver's assumption `E_r` (delivery discipline) as a
+    /// safety formula — what the lossy wire of
+    /// [`AlternatingBit::lossy_system`] breaks.
+    pub fn receiver_assumption(&self) -> Formula {
+        self.receiver_env().safety_formula()
+    }
+
+    /// The receiver's guarantee `M_r` as a safety formula.
+    pub fn receiver_guarantee(&self) -> Formula {
+        self.receiver().safety_formula()
+    }
+
+    /// The sender's guarantee `M_s` as a safety formula — a guarantee a
+    /// saboteur of the wire-side invariants cannot touch (see the
+    /// `adversarial_robustness` integration tests).
+    pub fn sender_guarantee(&self) -> Formula {
+        self.sender().safety_formula()
     }
 
     /// The in-order content invariant: an undelivered message on the
@@ -418,6 +492,56 @@ mod tests {
     }
 
     #[test]
+    fn lossy_wire_breaks_delivery_but_not_the_receiver() {
+        let w = AlternatingBit::new(2);
+        let faithful = w.complete_system().unwrap();
+        let lossy = w.lossy_system().unwrap();
+        // The fault genuinely enlarges the behavior space…
+        let base = explore(&faithful, &ExploreOptions::default()).unwrap();
+        let bad = explore(&lossy, &ExploreOptions::default()).unwrap();
+        assert!(bad.len() > base.len());
+        // …and breaks in-order delivery (a stale payload is consumed),
+        assert!(!check_invariant(&lossy, &bad, &w.in_order_invariant())
+            .unwrap()
+            .holds());
+        // …yet the receiver's own E_r ⊳ M_r still holds: the diagnosis
+        // pins the loss on the injected fault, one step before any
+        // obligation of the receiver lapses.
+        let report = opentla::check_ag_safety_diagnosed(
+            &lossy,
+            &bad,
+            &w.receiver_assumption(),
+            &w.receiver_guarantee(),
+        )
+        .unwrap();
+        assert!(report.holds());
+        let brk = report.env_break.expect("the lossy wire must break E_r");
+        assert_eq!(brk.action.as_deref(), Some("fault:lossy[sync_f]"));
+        let text = brk.to_string();
+        assert!(text.contains("assumption violated by environment"), "{text}");
+        assert!(
+            text.contains(&format!("M held {} steps", brk.step + 1)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn duplicating_wires_are_tolerated_by_construction() {
+        let w = AlternatingBit::new(2);
+        let faithful = w.complete_system().unwrap();
+        let dup = w.duplicating_system().unwrap();
+        // The handshake disables itself, so the duplicates never fire:
+        // same states, same transitions, invariants intact.
+        let base = explore(&faithful, &ExploreOptions::default()).unwrap();
+        let faulted = explore(&dup, &ExploreOptions::default()).unwrap();
+        assert_eq!(base.len(), faulted.len());
+        assert_eq!(base.edge_count(), faulted.edge_count());
+        assert!(check_invariant(&dup, &faulted, &w.in_order_invariant())
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
     fn spurious_ack_breaks_the_sender_assumption() {
         // Replace the ack wire with one that flips arbitrarily: H1 for
         // the sender's assumption must fail.
@@ -433,7 +557,7 @@ mod tests {
             .weak_fairness([0])
             .build()
             .unwrap();
-        let ags = vec![
+        let ags = [
             AgSpec::new(w.sender_env(), w.sender()).unwrap(),
             AgSpec::new(w.forward_env(), w.forward_wire()).unwrap(),
             AgSpec::new(w.receiver_env(), w.receiver()).unwrap(),

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the *API subset* of criterion its benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Instead of statistical sampling it runs each benchmark a
+//! small fixed number of iterations and prints min/mean wall-clock
+//! times — enough to compare runs by eye and to keep every bench
+//! target compiling and runnable in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Label for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs the measured closure and records wall-clock times.
+pub struct Bencher {
+    iterations: u64,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.times.clear();
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; here it scales the
+    /// fixed iteration count (bounded to keep smoke runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u64).clamp(1, 10);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+            times: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher.times);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+            times: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.times);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, times: &[Duration]) {
+        if times.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let min = times.iter().min().expect("nonempty");
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        println!(
+            "{}/{id}: min {:?}, mean {:?} ({} iters)",
+            self.name,
+            min,
+            mean,
+            times.len()
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: 3,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("run", routine);
+        group.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_function("count", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n + 1))
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -9,6 +9,9 @@ use opentla_scenarios::Fig1;
 
 #[test]
 fn state_limit_surfaces_through_compose() {
+    // A starved exploration no longer aborts `compose` with an error:
+    // it degrades to an honest UNDECIDED certificate recording the
+    // exhaustion, from which `escalate` can recover.
     let w = Fig1::new();
     let ag_c = w.ag_c().unwrap();
     let ag_d = w.ag_d().unwrap();
@@ -23,12 +26,14 @@ fn state_limit_surfaces_through_compose() {
         explore: ExploreOptions { max_states: 0 },
         ..CompositionOptions::default()
     };
-    let err = compose(&problem, &options).expect_err("limit of 0 must trip");
-    assert!(matches!(
-        err,
-        SpecError::Check(CheckError::TooManyStates { limit: 0 })
-            | SpecError::Check(CheckError::NoInitialStates)
-    ));
+    let cert = compose(&problem, &options).expect("exhaustion is not an error");
+    assert!(!cert.holds());
+    assert!(!cert.decided(), "the conclusion must be open, not refuted");
+    assert!(cert.first_failure().is_none());
+    assert_eq!(cert.first_undecided().unwrap().id, "exploration");
+    let text = cert.display(w.vars()).to_string();
+    assert!(text.contains("UNDECIDED"), "{text}");
+    assert!(text.contains("state limit of 0"), "{text}");
 }
 
 #[test]

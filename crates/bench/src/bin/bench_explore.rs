@@ -1,0 +1,263 @@
+//! Records the exploration-engine benchmark trajectory:
+//! `BENCH_explore.json` at the repository root.
+//!
+//! Three engines run over the same scenario set:
+//!
+//! * `seed` — a faithful reimplementation of the pre-optimization
+//!   sequential BFS: SipHash-keyed `HashMap<State, usize>` visited
+//!   set, a cloned state per expansion, a fresh successor `Vec` per
+//!   state, tree-walking guard/update evaluation;
+//! * `seq_fp` — the current sequential engine: fingerprinted visited
+//!   set, compiled successor stepper, reused buffers;
+//! * `par_fp` — the parallel engine ([`opentla_check::explore_parallel`])
+//!   in fingerprint mode with the machine's available workers, the
+//!   canonical renumbering pass included in the measured time. (On a
+//!   single-hardware-thread machine this engine delegates to the
+//!   sequential implementation — one level-synchronous worker *is*
+//!   sequential BFS; the recorded `threads` field says which case a
+//!   given JSON captured.)
+//!
+//! Every run cross-checks that all three engines agree on the state
+//! and transition counts (the fingerprint/parallel engines are exact
+//! reformulations, not approximations, on these state-space sizes).
+//!
+//! Usage: `bench_explore [--smoke]`. `--smoke` runs a reduced scenario
+//! set with one timing iteration — the CI configuration; full runs use
+//! the best of three iterations per engine.
+
+use opentla_bench::ms;
+use opentla_check::{
+    explore, explore_parallel, Budget, CheckError, ExploreOptions, Meter, StateGraph,
+    System,
+};
+use opentla_kernel::State;
+use opentla_queue::{FairnessStyle, QueueChain};
+use opentla_scenarios::{AlternatingBit, ArbiterFairness, Mutex, TokenRing};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The seed explorer, reimplemented verbatim for an honest baseline:
+/// exact SipHash visited set, per-state allocations, interpretive
+/// successor evaluation. Returns the (states, transitions) counts.
+fn explore_seed(system: &System, max_states: usize) -> Result<(usize, usize), CheckError> {
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let meter = Meter::start(&Budget::default().states(max_states));
+    let mut states: Vec<State> = Vec::new();
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut edges: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in init_states {
+        if index.contains_key(&s) {
+            continue;
+        }
+        assert!(meter.charge_state().is_none(), "seed run exceeded {max_states} states");
+        let id = states.len();
+        index.insert(s.clone(), id);
+        states.push(s);
+        edges.push(Vec::new());
+        queue.push_back(id);
+    }
+    while let Some(id) = queue.pop_front() {
+        let succ = system.successors(&states[id].clone())?;
+        for (action, t) in succ {
+            let target = match index.get(&t) {
+                Some(existing) => *existing,
+                None => {
+                    assert!(
+                        meter.charge_state().is_none(),
+                        "seed run exceeded {max_states} states"
+                    );
+                    let nid = states.len();
+                    index.insert(t.clone(), nid);
+                    states.push(t);
+                    edges.push(Vec::new());
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            edges[id].push((action, target));
+        }
+    }
+    Ok((states.len(), edges.iter().map(Vec::len).sum()))
+}
+
+struct Scenario {
+    name: &'static str,
+    system: System,
+    /// The acceptance scenario: the largest queue chain, where the
+    /// parallel fingerprinted engine must clear 2× the seed throughput.
+    is_acceptance: bool,
+}
+
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let abp = if smoke { 2 } else { 4 };
+    out.push(Scenario {
+        name: "abp",
+        system: AlternatingBit::new(abp).complete_system().expect("abp builds"),
+        is_acceptance: false,
+    });
+    out.push(Scenario {
+        name: "mutex",
+        system: Mutex::with_clients(if smoke { 2 } else { 3 }, ArbiterFairness::Weak)
+            .product()
+            .expect("mutex builds"),
+        is_acceptance: false,
+    });
+    out.push(Scenario {
+        name: "ring",
+        system: TokenRing::new(if smoke { 3 } else { 4 })
+            .complete_system()
+            .expect("ring builds"),
+        is_acceptance: false,
+    });
+    let max_chain = if smoke { 3 } else { 4 };
+    for k in 2..=max_chain {
+        out.push(Scenario {
+            name: match k {
+                2 => "chain2",
+                3 => "chain3",
+                _ => "chain4",
+            },
+            system: QueueChain::new(k, 1, 2, FairnessStyle::Joint)
+                .complete_system()
+                .expect("chain builds"),
+            is_acceptance: k == max_chain && !smoke,
+        });
+    }
+    out
+}
+
+/// Best-of-`iters` wall time of `work`, with the result of the last
+/// iteration.
+fn time_best<T>(iters: usize, mut work: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = work();
+        best = best.min(t.elapsed());
+        result = Some(r);
+    }
+    (best, result.expect("at least one iteration"))
+}
+
+struct EngineRun {
+    seconds: f64,
+    states_per_sec: f64,
+}
+
+fn engine_json(run: &EngineRun) -> String {
+    format!(
+        "{{ \"seconds\": {:.6}, \"states_per_sec\": {:.0} }}",
+        run.seconds, run.states_per_sec
+    )
+}
+
+fn graph_counts(graph: &StateGraph) -> (usize, usize) {
+    (graph.len(), graph.edge_count())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 3 };
+    let threads = std::env::var("OPENTLA_EXPLORE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(1);
+    let options = ExploreOptions::default();
+    let par_options = ExploreOptions {
+        threads: Some(threads),
+        ..ExploreOptions::default()
+    };
+
+    println!(
+        "# bench_explore ({} mode, {iters} iteration(s), {threads} thread(s))\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!("| scenario | states | transitions | seed | seq_fp | par_fp | seq_fp× | par_fp× |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut rows = Vec::new();
+    let mut acceptance: Option<(String, f64)> = None;
+    for sc in scenarios(smoke) {
+        let max = options.max_states;
+        let (seed_t, seed_counts) =
+            time_best(iters, || explore_seed(&sc.system, max).expect("seed explores"));
+        let (seq_t, seq_graph) =
+            time_best(iters, || explore(&sc.system, &options).expect("seq_fp explores"));
+        let (par_t, par_graph) = time_best(iters, || {
+            explore_parallel(&sc.system, &par_options).expect("par_fp explores")
+        });
+        let (states, transitions) = seed_counts;
+        assert_eq!(
+            graph_counts(&seq_graph),
+            (states, transitions),
+            "{}: seq_fp disagrees with seed",
+            sc.name
+        );
+        assert_eq!(
+            graph_counts(&par_graph),
+            (states, transitions),
+            "{}: par_fp disagrees with seed",
+            sc.name
+        );
+
+        let run = |d: Duration| EngineRun {
+            seconds: d.as_secs_f64(),
+            states_per_sec: states as f64 / d.as_secs_f64().max(1e-9),
+        };
+        let (seed, seq, par) = (run(seed_t), run(seq_t), run(par_t));
+        let seq_x = seq.states_per_sec / seed.states_per_sec;
+        let par_x = par.states_per_sec / seed.states_per_sec;
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× |",
+            sc.name,
+            states,
+            transitions,
+            ms(seed_t),
+            ms(seq_t),
+            ms(par_t),
+            seq_x,
+            par_x,
+        );
+        if sc.is_acceptance {
+            acceptance = Some((sc.name.to_string(), par_x));
+        }
+        rows.push(format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"acceptance\": {}\n    }}",
+            sc.name,
+            states,
+            transitions,
+            engine_json(&seed),
+            engine_json(&seq),
+            engine_json(&par),
+            seq_x,
+            par_x,
+            sc.is_acceptance,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\"\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+
+    if let Some((name, par_x)) = acceptance {
+        println!("\nacceptance ({name}): par_fp is {par_x:.2}× the seed throughput");
+        assert!(
+            par_x >= 2.0,
+            "acceptance regression: par_fp only {par_x:.2}× seed on {name} (need ≥ 2×)"
+        );
+    }
+}

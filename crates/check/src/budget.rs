@@ -13,7 +13,7 @@
 //! turns that into a retry loop with geometrically growing budgets.
 
 use crate::GraphStats;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -214,12 +214,20 @@ impl std::fmt::Display for Outcome {
 /// Engines call [`Meter::charge_state`] / [`Meter::charge_transition`]
 /// as they do work and [`Meter::checkpoint`] at loop heads; the first
 /// call returning `Some` reason is where they stop.
+///
+/// Counters are atomic, so one meter can be shared by reference across
+/// the scoped workers of a parallel engine without locks on the hot
+/// loop: the charge methods take `&self` and enforce the limits with a
+/// compare-and-swap, so at most `max_states` state charges ever succeed
+/// regardless of how many threads race (and likewise for transitions).
+/// The old single-threaded call shapes (`&mut Meter`) still compile
+/// unchanged — `&mut` access trivially coerces to `&`.
 #[derive(Debug)]
 pub struct Meter {
     budget: Budget,
     start: Instant,
-    states: usize,
-    transitions: usize,
+    states: AtomicUsize,
+    transitions: AtomicUsize,
 }
 
 impl Meter {
@@ -229,33 +237,42 @@ impl Meter {
         Meter {
             budget: budget.clone(),
             start: Instant::now(),
-            states: 0,
-            transitions: 0,
+            states: AtomicUsize::new(0),
+            transitions: AtomicUsize::new(0),
         }
+    }
+
+    /// Charges `counter` by one if it is still under `limit`.
+    fn charge(counter: &AtomicUsize, limit: usize) -> bool {
+        counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < limit).then(|| n + 1)
+            })
+            .is_ok()
     }
 
     /// Records one unique state; `Some` if that state was over the
     /// limit. The caller should *not* keep the state in that case, so
     /// the recorded graph never exceeds `max_states`.
-    pub fn charge_state(&mut self) -> Option<ExhaustReason> {
-        if self.states >= self.budget.max_states {
-            return Some(ExhaustReason::StateLimit {
+    pub fn charge_state(&self) -> Option<ExhaustReason> {
+        if Meter::charge(&self.states, self.budget.max_states) {
+            None
+        } else {
+            Some(ExhaustReason::StateLimit {
                 limit: self.budget.max_states,
-            });
+            })
         }
-        self.states += 1;
-        None
     }
 
     /// Records one processed transition; `Some` if over the limit.
-    pub fn charge_transition(&mut self) -> Option<ExhaustReason> {
-        if self.transitions >= self.budget.max_transitions {
-            return Some(ExhaustReason::TransitionLimit {
+    pub fn charge_transition(&self) -> Option<ExhaustReason> {
+        if Meter::charge(&self.transitions, self.budget.max_transitions) {
+            None
+        } else {
+            Some(ExhaustReason::TransitionLimit {
                 limit: self.budget.max_transitions,
-            });
+            })
         }
-        self.transitions += 1;
-        None
     }
 
     /// Deadline and cancellation check, for loop heads.
@@ -273,12 +290,12 @@ impl Meter {
 
     /// States charged so far.
     pub fn states_used(&self) -> usize {
-        self.states
+        self.states.load(Ordering::Relaxed)
     }
 
     /// Transitions charged so far.
     pub fn transitions_used(&self) -> usize {
-        self.transitions
+        self.transitions.load(Ordering::Relaxed)
     }
 }
 
@@ -360,7 +377,7 @@ mod tests {
 
     #[test]
     fn meter_trips_at_limits() {
-        let mut m = Meter::start(&Budget::default().states(2).transitions(1));
+        let m = Meter::start(&Budget::default().states(2).transitions(1));
         assert!(m.charge_state().is_none());
         assert!(m.charge_state().is_none());
         assert_eq!(
@@ -374,6 +391,30 @@ mod tests {
         );
         assert_eq!(m.states_used(), 2);
         assert_eq!(m.transitions_used(), 1);
+    }
+
+    #[test]
+    fn meter_is_shareable_and_exact_under_contention() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Budget>();
+        assert_sync::<Meter>();
+
+        let m = Meter::start(&Budget::default().states(100).transitions(100));
+        let successes = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        if m.charge_state().is_none() {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 400 racing charges against a limit of 100: exactly 100 win.
+        assert_eq!(successes.load(Ordering::Relaxed), 100);
+        assert_eq!(m.states_used(), 100);
     }
 
     #[test]

@@ -1,0 +1,543 @@
+//! A compiled stepper: guards and updates flattened to stack-machine
+//! programs.
+//!
+//! The tree-walking evaluator in `opentla-kernel` chases `Box` pointers
+//! and pays a recursive call per AST node — fine for checking a single
+//! invariant, dominant in an exploration hot loop that fires every
+//! action in every reachable state. [`CompiledSystem`] compiles each
+//! action's guard and update expressions **once** into flat postfix
+//! programs ([`CompiledExpr`]) executed over a reusable value stack
+//! ([`EvalScratch`]), eliminating per-node allocation and recursion
+//! from successor computation.
+//!
+//! The compiled form is semantics-preserving by construction: operator
+//! application delegates to the kernel's own [`UnOp::apply`] /
+//! [`BinOp::apply`], and short-circuiting (`∧`, `∨`, `⇒`, `IF`) is
+//! reproduced with explicit jumps, so evaluation order, verdicts, *and
+//! errors* are identical to [`Expr::eval_state`] — a property pinned
+//! down by the `proptest_compiled` suite.
+//!
+//! Only state functions can be compiled; guards and updates are state
+//! functions by construction ([`crate::GuardedAction::new`] asserts
+//! it). A primed variable compiles to an instruction that reproduces
+//! the interpreter's lazy [`EvalError::PrimeInStateContext`] — lazily,
+//! so primes in short-circuited branches stay unobserved, exactly as in
+//! the tree walker.
+
+use crate::{CheckError, System};
+use opentla_kernel::{expect_bool, BinOp, EvalError, Expr, State, UnOp, Value, VarId};
+
+/// One instruction of a compiled state-function program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Push a constant.
+    Const(Value),
+    /// Push the value of an unprimed variable.
+    Load(VarId),
+    /// Reproduce the interpreter's error for a primed variable in a
+    /// state context (guards/updates are state functions, so this only
+    /// executes for malformed expressions — and then with the same
+    /// error and the same laziness as the tree walker).
+    PrimeErr(VarId),
+    /// Pop the operand, push `op(operand)`.
+    Unary(UnOp),
+    /// Pop both operands, push `op(a, b)`.
+    Binary(BinOp),
+    /// Conjunct boundary: pop a bool; on `false`, push `FALSE` and jump
+    /// to `end` (skipping the remaining conjuncts).
+    AndProbe { end: u32 },
+    /// Disjunct boundary: pop a bool; on `true`, push `TRUE` and jump
+    /// to `end`.
+    OrProbe { end: u32 },
+    /// Antecedent boundary of `⇒`: pop a bool; on `false`, push `TRUE`
+    /// and jump to `end` (the consequent stays unevaluated).
+    ImpliesProbe { end: u32 },
+    /// Pop a bool; jump to `target` when it is false (the `IF` branch).
+    JumpIfFalse { target: u32 },
+    /// Unconditional jump (joins the `THEN` arm to the end).
+    Jump { target: u32 },
+    /// Push a boolean constant (the unit of an `∧`/`∨` chain).
+    PushBool(bool),
+    /// Assert the top of stack is a boolean (the `⇒` consequent's
+    /// "boolean context" check), leaving it in place.
+    EnsureBool,
+    /// Pop `n` values, push the tuple of them (in evaluation order).
+    MkTuple(u32),
+    /// Pop `n` values, push the sequence of them.
+    MkSeq(u32),
+    /// Pop a value, push whether it belongs to the listed set.
+    InSet(Vec<Value>),
+}
+
+/// A state function compiled to a flat postfix program.
+///
+/// Build with [`CompiledExpr::compile`], run with
+/// [`CompiledExpr::eval`] against a reusable [`EvalScratch`].
+#[derive(Clone, Debug)]
+pub struct CompiledExpr {
+    ops: Vec<Op>,
+}
+
+impl CompiledExpr {
+    /// Compiles a state function. Any expression is accepted; primed
+    /// variables produce programs that fail at evaluation time exactly
+    /// like the interpreter does.
+    pub fn compile(expr: &Expr) -> CompiledExpr {
+        let mut ops = Vec::new();
+        emit(expr, &mut ops);
+        CompiledExpr { ops }
+    }
+
+    /// Evaluates the program on a state.
+    ///
+    /// # Errors
+    ///
+    /// The same evaluation errors, in the same evaluation order, as
+    /// [`Expr::eval_state`] on the source expression.
+    pub fn eval(&self, s: &State, scratch: &mut EvalScratch) -> Result<Value, EvalError> {
+        let stack = &mut scratch.stack;
+        stack.clear();
+        let mut pc = 0usize;
+        while let Some(op) = self.ops.get(pc) {
+            pc += 1;
+            match op {
+                Op::Const(v) => stack.push(v.clone()),
+                Op::Load(v) => match s.try_get(*v) {
+                    Some(value) => stack.push(value.clone()),
+                    None => {
+                        return Err(EvalError::UnboundVar {
+                            var: *v,
+                            state_len: s.len(),
+                        })
+                    }
+                },
+                Op::PrimeErr(v) => {
+                    return Err(EvalError::PrimeInStateContext { var: *v })
+                }
+                Op::Unary(un) => {
+                    let v = pop(stack);
+                    stack.push(un.apply(v)?);
+                }
+                Op::Binary(bin) => {
+                    let b = pop(stack);
+                    let a = pop(stack);
+                    stack.push(bin.apply(a, b)?);
+                }
+                Op::AndProbe { end } => {
+                    if !expect_bool(pop(stack))? {
+                        stack.push(Value::Bool(false));
+                        pc = *end as usize;
+                    }
+                }
+                Op::OrProbe { end } => {
+                    if expect_bool(pop(stack))? {
+                        stack.push(Value::Bool(true));
+                        pc = *end as usize;
+                    }
+                }
+                Op::ImpliesProbe { end } => {
+                    if !expect_bool(pop(stack))? {
+                        stack.push(Value::Bool(true));
+                        pc = *end as usize;
+                    }
+                }
+                Op::JumpIfFalse { target } => {
+                    if !expect_bool(pop(stack))? {
+                        pc = *target as usize;
+                    }
+                }
+                Op::Jump { target } => pc = *target as usize,
+                Op::PushBool(b) => stack.push(Value::Bool(*b)),
+                Op::EnsureBool => {
+                    let v = pop(stack);
+                    stack.push(Value::Bool(expect_bool(v)?));
+                }
+                Op::MkTuple(n) => {
+                    let items = stack.split_off(stack.len() - *n as usize);
+                    stack.push(Value::Tuple(items.into()));
+                }
+                Op::MkSeq(n) => {
+                    let items = stack.split_off(stack.len() - *n as usize);
+                    stack.push(Value::Seq(items.into()));
+                }
+                Op::InSet(set) => {
+                    let v = pop(stack);
+                    stack.push(Value::Bool(set.contains(&v)));
+                }
+            }
+        }
+        debug_assert_eq!(stack.len(), 1, "compiled program left a ragged stack");
+        Ok(pop(stack))
+    }
+
+    /// Evaluates the program as a boolean (guard) on a state.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledExpr::eval`], plus "boolean context" if the result
+    /// is not a boolean.
+    pub fn holds(&self, s: &State, scratch: &mut EvalScratch) -> Result<bool, EvalError> {
+        expect_bool(self.eval(s, scratch)?)
+    }
+}
+
+#[inline]
+fn pop(stack: &mut Vec<Value>) -> Value {
+    stack.pop().expect("compiled program underflowed its stack")
+}
+
+fn emit(expr: &Expr, ops: &mut Vec<Op>) {
+    match expr {
+        Expr::Const(v) => ops.push(Op::Const(v.clone())),
+        Expr::Var(v) => ops.push(Op::Load(*v)),
+        Expr::Prime(v) => ops.push(Op::PrimeErr(*v)),
+        Expr::Unary(op, e) => {
+            emit(e, ops);
+            ops.push(Op::Unary(*op));
+        }
+        Expr::Binary(BinOp::Implies, a, b) => {
+            emit(a, ops);
+            let probe = ops.len();
+            ops.push(Op::ImpliesProbe { end: 0 });
+            emit(b, ops);
+            ops.push(Op::EnsureBool);
+            let end = ops.len() as u32;
+            let Op::ImpliesProbe { end: slot } = &mut ops[probe] else {
+                unreachable!("probe written above")
+            };
+            *slot = end;
+        }
+        Expr::Binary(op, a, b) => {
+            emit(a, ops);
+            emit(b, ops);
+            ops.push(Op::Binary(*op));
+        }
+        Expr::And(es) => emit_chain(es, ops, true),
+        Expr::Or(es) => emit_chain(es, ops, false),
+        Expr::Ite(c, a, b) => {
+            emit(c, ops);
+            let branch = ops.len();
+            ops.push(Op::JumpIfFalse { target: 0 });
+            emit(a, ops);
+            let join = ops.len();
+            ops.push(Op::Jump { target: 0 });
+            let else_at = ops.len() as u32;
+            emit(b, ops);
+            let end = ops.len() as u32;
+            let Op::JumpIfFalse { target } = &mut ops[branch] else {
+                unreachable!("branch written above")
+            };
+            *target = else_at;
+            let Op::Jump { target } = &mut ops[join] else {
+                unreachable!("join written above")
+            };
+            *target = end;
+        }
+        Expr::Tuple(es) => {
+            for e in es {
+                emit(e, ops);
+            }
+            ops.push(Op::MkTuple(es.len() as u32));
+        }
+        Expr::MkSeq(es) => {
+            for e in es {
+                emit(e, ops);
+            }
+            ops.push(Op::MkSeq(es.len() as u32));
+        }
+        Expr::InSet(e, set) => {
+            emit(e, ops);
+            ops.push(Op::InSet(set.clone()));
+        }
+    }
+}
+
+/// Emits an `∧` chain (`conjunctive = true`) or `∨` chain, with each
+/// element followed by a probe that short-circuits to the end.
+fn emit_chain(es: &[Expr], ops: &mut Vec<Op>, conjunctive: bool) {
+    let mut probes = Vec::with_capacity(es.len());
+    for e in es {
+        emit(e, ops);
+        probes.push(ops.len());
+        ops.push(if conjunctive {
+            Op::AndProbe { end: 0 }
+        } else {
+            Op::OrProbe { end: 0 }
+        });
+    }
+    // Every element held (resp. failed): push the chain's unit.
+    ops.push(Op::PushBool(conjunctive));
+    let end = ops.len() as u32;
+    for p in probes {
+        match &mut ops[p] {
+            Op::AndProbe { end: slot } | Op::OrProbe { end: slot } => *slot = end,
+            _ => unreachable!("probe written above"),
+        }
+    }
+}
+
+/// Reusable evaluation buffers for the compiled stepper: the value
+/// stack and the pending-update list. One scratch per worker thread;
+/// after warm-up the hot loop performs no stack/update allocations.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    stack: Vec<Value>,
+    assignments: Vec<(VarId, Value)>,
+}
+
+impl EvalScratch {
+    /// Fresh (empty) scratch buffers.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
+/// One compiled guarded action: the guard program plus one update
+/// program per assigned variable.
+#[derive(Debug)]
+struct CompiledAction {
+    guard: CompiledExpr,
+    updates: Vec<(VarId, CompiledExpr)>,
+}
+
+/// A [`System`] with every action compiled for high-throughput
+/// successor computation.
+///
+/// Borrowing — not consuming — the system keeps the compiled form a
+/// pure accelerator: names, domains, and error reporting still come
+/// from the source system, and [`CompiledSystem::successors_into`] is
+/// observationally identical to [`System::successors`].
+#[derive(Debug)]
+pub struct CompiledSystem<'a> {
+    system: &'a System,
+    actions: Vec<CompiledAction>,
+}
+
+impl<'a> CompiledSystem<'a> {
+    /// Compiles every action of the system. Cost is linear in the total
+    /// expression size — negligible next to any exploration.
+    pub fn compile(system: &'a System) -> CompiledSystem<'a> {
+        let actions = system
+            .actions()
+            .iter()
+            .map(|a| CompiledAction {
+                guard: CompiledExpr::compile(a.guard()),
+                updates: a
+                    .updates()
+                    .iter()
+                    .map(|(v, e)| (*v, CompiledExpr::compile(e)))
+                    .collect(),
+            })
+            .collect();
+        CompiledSystem { system, actions }
+    }
+
+    /// The source system.
+    pub fn system(&self) -> &'a System {
+        self.system
+    }
+
+    /// Visits every enabled action of `s` in action order, handing the
+    /// visitor the action index and the evaluated, domain-checked
+    /// update assignments — *without* materializing the successor
+    /// state. The visitor builds it with `s.with(assignments)` if it
+    /// needs it; fingerprinted explorers first derive the successor's
+    /// fingerprint from the assignments
+    /// ([`State::fingerprint_with`](opentla_kernel::State::fingerprint_with))
+    /// and skip construction for already-visited successors.
+    ///
+    /// Returns the visitor's break value, if it broke early.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`System::successors`] reports, in the same
+    /// order: guard/update evaluation errors and
+    /// [`CheckError::OutOfDomain`] violations.
+    pub fn for_each_successor<B>(
+        &self,
+        s: &State,
+        scratch: &mut EvalScratch,
+        mut visit: impl FnMut(usize, &[(VarId, Value)]) -> std::ops::ControlFlow<B>,
+    ) -> Result<Option<B>, CheckError> {
+        let vars = self.system.vars();
+        for (i, ca) in self.actions.iter().enumerate() {
+            if !ca.guard.holds(s, scratch)? {
+                continue;
+            }
+            scratch.assignments.clear();
+            for (v, e) in &ca.updates {
+                let value = e.eval(s, scratch)?;
+                if !vars.domain(*v).contains(&value) {
+                    return Err(CheckError::OutOfDomain {
+                        action: self.system.actions()[i].name().to_string(),
+                        var: *v,
+                        value,
+                    });
+                }
+                scratch.assignments.push((*v, value));
+            }
+            if let std::ops::ControlFlow::Break(b) = visit(i, &scratch.assignments) {
+                return Ok(Some(b));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Appends all successors of `s` into `out` (cleared first),
+    /// labeled with action indices — the compiled, allocation-lean
+    /// equivalent of [`System::successors_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSystem::for_each_successor`].
+    pub fn successors_into(
+        &self,
+        s: &State,
+        out: &mut Vec<(usize, State)>,
+        scratch: &mut EvalScratch,
+    ) -> Result<(), CheckError> {
+        out.clear();
+        self.for_each_successor(s, scratch, |i, assignments| {
+            out.push((i, s.with(assignments)));
+            std::ops::ControlFlow::<std::convert::Infallible>::Continue(())
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GuardedAction, Init};
+    use opentla_kernel::{Domain, Vars};
+
+    fn ev(e: &Expr, s: &State) -> (Result<Value, EvalError>, Result<Value, EvalError>) {
+        let compiled = CompiledExpr::compile(e);
+        let mut scratch = EvalScratch::new();
+        (e.eval_state(s), compiled.eval(s, &mut scratch))
+    }
+
+    fn assert_agree(e: &Expr, s: &State) {
+        let (tree, flat) = ev(e, s);
+        assert_eq!(tree, flat, "for {e:?}");
+    }
+
+    fn setup() -> (Vars, VarId, VarId) {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 7));
+        let q = vars.declare("q", Domain::seqs_up_to(&Domain::bits(), 2));
+        (vars, x, q)
+    }
+
+    #[test]
+    fn literals_vars_and_arith() {
+        let (_, x, q) = setup();
+        let s = State::new(vec![Value::Int(3), Value::seq(vec![Value::Int(1)])]);
+        assert_agree(&Expr::int(42), &s);
+        assert_agree(&Expr::var(x).add(Expr::int(1)).mul(Expr::int(2)), &s);
+        assert_agree(&Expr::var(q).len(), &s);
+        assert_agree(&Expr::var(q).head(), &s);
+        assert_agree(&Expr::var(q).tail(), &s);
+        assert_agree(
+            &Expr::var(q).concat(Expr::MkSeq(vec![Expr::int(0)])),
+            &s,
+        );
+        assert_agree(&Expr::Tuple(vec![Expr::var(x), Expr::int(9)]), &s);
+    }
+
+    #[test]
+    fn short_circuits_match_the_interpreter() {
+        let (_, x, _) = setup();
+        let s = State::new(vec![Value::Int(1), Value::empty_seq()]);
+        // Second conjunct is a type error — skipped by both evaluators.
+        let e = Expr::bool(false).and(Expr::var(x).add(Expr::int(1)));
+        assert_agree(&e, &s);
+        let e = Expr::bool(true).or(Expr::var(x).add(Expr::int(1)));
+        assert_agree(&e, &s);
+        let e = Expr::bool(false).implies(Expr::var(x).add(Expr::int(1)));
+        assert_agree(&e, &s);
+        // Non-short-circuited paths must error identically.
+        let e = Expr::bool(true).and(Expr::var(x).add(Expr::int(1)));
+        assert_agree(&e, &s);
+        let e = Expr::bool(true).implies(Expr::var(x).add(Expr::int(1)));
+        assert_agree(&e, &s);
+        // Empty chains.
+        assert_agree(&Expr::And(vec![]), &s);
+        assert_agree(&Expr::Or(vec![]), &s);
+    }
+
+    #[test]
+    fn ite_in_set_and_errors() {
+        let (_, x, q) = setup();
+        let s = State::new(vec![Value::Int(2), Value::empty_seq()]);
+        let e = Expr::var(x)
+            .eq(Expr::int(2))
+            .ite(Expr::var(x).add(Expr::int(1)), Expr::int(0));
+        assert_agree(&e, &s);
+        let e = Expr::var(x)
+            .eq(Expr::int(3))
+            .ite(Expr::var(x).add(Expr::int(1)), Expr::int(0));
+        assert_agree(&e, &s);
+        assert_agree(&Expr::var(x).in_set([Value::Int(2), Value::Int(5)]), &s);
+        // Head of empty errors identically.
+        assert_agree(&Expr::var(q).head(), &s);
+        // Primes error identically (and lazily).
+        assert_agree(&Expr::prime(x), &s);
+        assert_agree(&Expr::bool(false).and(Expr::prime(x)), &s);
+        // Unbound variable.
+        let short = State::new(vec![Value::Int(0)]);
+        assert_agree(&Expr::var(q), &short);
+    }
+
+    #[test]
+    fn compiled_successors_match_interpreted() {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 3));
+        let y = vars.declare("y", Domain::bits());
+        let actions = vec![
+            GuardedAction::new(
+                "incr",
+                Expr::var(x).lt(Expr::int(3)),
+                vec![(x, Expr::var(x).add(Expr::int(1)))],
+            ),
+            GuardedAction::new(
+                "flip",
+                Expr::bool(true),
+                vec![(y, Expr::int(1).sub(Expr::var(y)))],
+            ),
+        ];
+        let sys = System::new(vars, Init::new([(x, Value::Int(0)), (y, Value::Int(0))]), actions);
+        let compiled = CompiledSystem::compile(&sys);
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        for xv in 0..=3 {
+            for yv in 0..=1 {
+                let s = State::new(vec![Value::Int(xv), Value::Int(yv)]);
+                compiled.successors_into(&s, &mut out, &mut scratch).unwrap();
+                assert_eq!(out, sys.successors(&s).unwrap(), "at x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_domain_violation_matches() {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 1));
+        let bad = GuardedAction::new(
+            "bad",
+            Expr::bool(true),
+            vec![(x, Expr::var(x).add(Expr::int(5)))],
+        );
+        let sys = System::new(vars, Init::new([(x, Value::Int(0))]), vec![bad]);
+        let compiled = CompiledSystem::compile(&sys);
+        let s = State::new(vec![Value::Int(0)]);
+        let mut out = Vec::new();
+        let err = compiled
+            .successors_into(&s, &mut out, &mut EvalScratch::new())
+            .unwrap_err();
+        assert!(
+            matches!(&err, CheckError::OutOfDomain { action, .. } if action == "bad"),
+            "{err:?}"
+        );
+    }
+}

@@ -1,9 +1,58 @@
 //! Breadth-first state-space exploration.
+//!
+//! Two engines produce the same [`StateGraph`]:
+//!
+//! * a **sequential** engine — the reference implementation: plain BFS
+//!   over the compiled successor stepper
+//!   ([`crate::CompiledSystem`]);
+//! * a **parallel** engine ([`explore_parallel`]) — level-synchronous
+//!   BFS over a sharded visited set, followed by a deterministic
+//!   renumbering pass that replays the discovery order sequentially.
+//!   On complete runs the result is **byte-identical** to the
+//!   sequential engine: same state indices, same edge lists, same
+//!   [`GraphStats`], same counterexample traces.
+//!
+//! Both engines deduplicate states through a [`VisitedMode`]: either
+//! **fingerprinting** (the default — 64-bit hashes in the visited set,
+//! full states only in an append-only arena) or an **exact** fallback
+//! that keys the visited set by the full state. See [`VisitedMode`]
+//! for the soundness trade-off.
 
 use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
+use crate::compiled::{CompiledSystem, EvalScratch};
 use crate::{CheckError, System};
+use fxhash::FxHashMap;
 use opentla_kernel::State;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the explorer remembers which states it has already seen.
+///
+/// This is the classic TLC trade-off between speed and certainty:
+///
+/// * [`VisitedMode::Fingerprint`] (the default) stores only a 64-bit
+///   hash of each state in the visited set. Two distinct states with
+///   the same fingerprint are conflated, so a collision can only make
+///   the explorer **miss** reachable states (an under-approximation) —
+///   it never invents unreachable ones, so every state and trace in
+///   the graph is still genuine. With `n` distinct states the
+///   probability of any collision is about `n² / 2⁶⁵` (birthday
+///   bound): ≈ 3 × 10⁻⁸ at a million states. This mirrors TLC, which
+///   has run on this design for twenty-five years.
+/// * [`VisitedMode::Exact`] keys the visited set by the full state:
+///   no collisions possible, at the cost of hashing and storing whole
+///   states. Use it when a run must be collision-free by construction
+///   (e.g. when a check's verdict feeds a proof).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VisitedMode {
+    /// 64-bit fingerprints in the visited set (fast; collisions
+    /// under-approximate with probability ≈ n²/2⁶⁵).
+    #[default]
+    Fingerprint,
+    /// Full states in the visited set (slower; exact).
+    Exact,
+}
 
 /// Options controlling exploration.
 #[derive(Clone, Debug)]
@@ -11,14 +60,56 @@ pub struct ExploreOptions {
     /// Abort with [`CheckError::TooManyStates`] beyond this many
     /// reachable states. Default 1 000 000.
     pub max_states: usize,
+    /// Visited-set representation. Default
+    /// [`VisitedMode::Fingerprint`].
+    pub mode: VisitedMode,
+    /// Worker threads. `None` (the default) consults the
+    /// `OPENTLA_EXPLORE_THREADS` environment variable, falling back to
+    /// 1 (sequential). Any resolved value above 1 routes [`explore`] /
+    /// [`explore_governed`] through the parallel engine.
+    pub threads: Option<usize>,
+    /// Fingerprint width in bits, 1..=64 (default 64). Values below 64
+    /// mask the fingerprint, deliberately *forcing* collisions — a test
+    /// knob for exercising the under-approximation and the
+    /// [`VisitedMode::Exact`] fallback; production runs should leave
+    /// this at 64.
+    pub fp_bits: u32,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
         ExploreOptions {
             max_states: 1_000_000,
+            mode: VisitedMode::Fingerprint,
+            threads: None,
+            fp_bits: 64,
         }
     }
+}
+
+impl ExploreOptions {
+    fn mask(&self) -> u64 {
+        fp_mask(self.fp_bits)
+    }
+}
+
+fn fp_mask(fp_bits: u32) -> u64 {
+    if fp_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << fp_bits.max(1)) - 1
+    }
+}
+
+/// The `OPENTLA_EXPLORE_THREADS` override, if set to a positive
+/// integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("OPENTLA_EXPLORE_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n >= 1)
 }
 
 /// Summary statistics of a reachability graph; see
@@ -55,22 +146,81 @@ pub struct Edge {
     pub target: usize,
 }
 
+/// The visited set of a [`StateGraph`], in either representation.
+#[derive(Clone, Debug)]
+enum Visited {
+    Exact(HashMap<State, usize>),
+    Fingerprint {
+        map: FxHashMap<u64, usize>,
+        mask: u64,
+    },
+}
+
+impl Visited {
+    fn new(mode: VisitedMode, mask: u64) -> Visited {
+        match mode {
+            VisitedMode::Exact => Visited::Exact(HashMap::new()),
+            VisitedMode::Fingerprint => Visited::Fingerprint {
+                map: FxHashMap::default(),
+                mask,
+            },
+        }
+    }
+
+    /// Looks up a state, returning its id if (a state with the same
+    /// key as) it was seen, plus the fingerprint key for a subsequent
+    /// [`Visited::insert`] (0 in exact mode).
+    fn lookup(&self, s: &State) -> (Option<usize>, u64) {
+        match self {
+            Visited::Exact(map) => (map.get(s).copied(), 0),
+            Visited::Fingerprint { map, mask } => {
+                let fp = s.fingerprint() & mask;
+                (map.get(&fp).copied(), fp)
+            }
+        }
+    }
+
+    /// Records a state under the key computed by [`Visited::lookup`].
+    fn insert(&mut self, s: &State, fp: u64, id: usize) {
+        match self {
+            Visited::Exact(map) => {
+                map.insert(s.clone(), id);
+            }
+            Visited::Fingerprint { map, .. } => {
+                map.insert(fp, id);
+            }
+        }
+    }
+
+}
+
 /// The reachable state graph of a [`System`], with a BFS tree for
 /// shortest-trace reconstruction.
 ///
 /// Exploration order is deterministic (BFS over the system's action
 /// order), so state indices — and therefore counterexamples — are
-/// reproducible.
+/// reproducible. The parallel engine preserves this: its renumbering
+/// pass restores the exact sequential ordering.
 #[derive(Clone, Debug)]
 pub struct StateGraph {
     states: Vec<State>,
-    index: HashMap<State, usize>,
+    visited: Visited,
     init: Vec<usize>,
     edges: Vec<Vec<Edge>>,
     parents: Vec<Option<(usize, usize)>>,
 }
 
 impl StateGraph {
+    fn new(mode: VisitedMode, mask: u64) -> StateGraph {
+        StateGraph {
+            states: Vec::new(),
+            visited: Visited::new(mode, mask),
+            init: Vec::new(),
+            edges: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+
     /// Number of reachable states.
     pub fn len(&self) -> usize {
         self.states.len()
@@ -100,9 +250,19 @@ impl StateGraph {
         &self.states
     }
 
-    /// The index of a state, if reachable.
+    /// The index of a state, if recorded.
+    ///
+    /// In fingerprint mode the candidate found by fingerprint is
+    /// verified against the arena, so this never misattributes an
+    /// index: a state displaced by a fingerprint collision (not
+    /// recorded) answers `None`.
     pub fn index_of(&self, s: &State) -> Option<usize> {
-        self.index.get(s).copied()
+        let (candidate, _) = self.visited.lookup(s);
+        let id = candidate?;
+        match &self.visited {
+            Visited::Exact(_) => Some(id),
+            Visited::Fingerprint { .. } => (&self.states[id] == s).then_some(id),
+        }
     }
 
     /// Indices of the initial states.
@@ -231,7 +391,9 @@ pub struct Exploration {
     pub outcome: Outcome,
     /// State indices discovered but not yet expanded when the run
     /// stopped (empty on complete runs). Edges out of these states are
-    /// missing from `graph`.
+    /// missing from `graph`. The sequential engine reports them in BFS
+    /// queue order; multi-worker parallel runs in ascending index
+    /// order.
     pub frontier: Vec<usize>,
 }
 
@@ -260,28 +422,279 @@ impl Governed for Exploration {
 /// successor loop charge the same meter, so the limit trips at exactly
 /// `max_states` regardless of where the frontier stood.
 ///
+/// Uses default [`ExploreOptions`] (fingerprinted visited set;
+/// `OPENTLA_EXPLORE_THREADS` consulted for the engine); see
+/// [`explore_governed_with`] for full control.
+///
 /// # Errors
 ///
 /// * [`CheckError::NoInitialStates`] if the initial specification is
 ///   empty;
 /// * evaluation/domain errors from firing actions.
 pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration, CheckError> {
+    explore_governed_with(system, budget, &ExploreOptions::default())
+}
+
+/// [`explore_governed`] with explicit [`ExploreOptions`] (visited-set
+/// mode, thread count, fingerprint width). `options.max_states` is
+/// ignored here — the budget governs.
+///
+/// # Errors
+///
+/// As [`explore_governed`].
+pub fn explore_governed_with(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
+    if threads > 1 {
+        explore_parallel_impl(system, budget, options, threads)
+    } else {
+        explore_sequential(system, budget, options)
+    }
+}
+
+/// Explores the reachable states of a system breadth-first.
+///
+/// This is the all-or-nothing interface: exceeding
+/// `options.max_states` is reported as an error. Callers who want the
+/// partial graph (and finer-grained limits) should use
+/// [`explore_governed`].
+///
+/// # Errors
+///
+/// * [`CheckError::NoInitialStates`] if the initial specification is
+///   empty;
+/// * [`CheckError::TooManyStates`] beyond `options.max_states`;
+/// * evaluation/domain errors from firing actions.
+pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, CheckError> {
+    let run = explore_governed_with(
+        system,
+        &Budget::default().states(options.max_states),
+        options,
+    )?;
+    match run.outcome {
+        Outcome::Complete => Ok(run.graph),
+        Outcome::Exhausted { .. } => Err(CheckError::TooManyStates {
+            limit: options.max_states,
+        }),
+    }
+}
+
+/// Explores with the parallel engine unconditionally (worker count
+/// from `options.threads`, the `OPENTLA_EXPLORE_THREADS` environment
+/// variable, or the machine's available parallelism, in that order).
+///
+/// On complete runs the result is byte-identical to [`explore`]: the
+/// level-synchronous workers record edges per parent in action order,
+/// and a sequential renumbering pass replays the canonical BFS
+/// discovery order over those records. When only one worker is
+/// available the engine delegates to the sequential implementation
+/// outright — a single-worker level-synchronous BFS *is* sequential
+/// BFS, so the coordination machinery would be pure overhead.
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_parallel(
+    system: &System,
+    options: &ExploreOptions,
+) -> Result<StateGraph, CheckError> {
+    let run = explore_parallel_governed(
+        system,
+        &Budget::default().states(options.max_states),
+        options,
+    )?;
+    match run.outcome {
+        Outcome::Complete => Ok(run.graph),
+        Outcome::Exhausted { .. } => Err(CheckError::TooManyStates {
+            limit: options.max_states,
+        }),
+    }
+}
+
+/// [`explore_parallel`] under a [`Budget`], returning partial results
+/// on exhaustion.
+///
+/// Exhausted runs yield a valid partial graph (every recorded state
+/// and edge is genuinely reachable, the frontier honestly lists every
+/// discovered-but-unexpanded state), but — unlike complete runs —
+/// *which* states made it under the limit depends on worker
+/// scheduling.
+///
+/// # Errors
+///
+/// As [`explore_governed`].
+pub fn explore_parallel_governed(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let threads = options
+        .threads
+        .or_else(env_threads)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(1);
+    explore_parallel_impl(system, budget, options, threads)
+}
+
+// ---------------------------------------------------------------------
+// Sequential engine
+// ---------------------------------------------------------------------
+
+fn explore_sequential(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    match options.mode {
+        VisitedMode::Fingerprint => explore_sequential_fp(system, budget, options),
+        VisitedMode::Exact => explore_sequential_exact(system, budget, options),
+    }
+}
+
+/// The fingerprinted hot path: successor fingerprints are derived
+/// incrementally from the parent's
+/// ([`State::fingerprint_with`]), so an already-visited successor
+/// costs one hash-of-deltas and one `u64` map probe — it is never
+/// materialized as a [`State`] at all. Only genuinely new states are
+/// constructed and pushed into the arena.
+fn explore_sequential_fp(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    use std::collections::hash_map::Entry;
+    use std::ops::ControlFlow;
+
     let init_states = system.init().states(system.universe())?;
     if init_states.is_empty() {
         return Err(CheckError::NoInitialStates);
     }
-    let mut meter = Meter::start(budget);
-    let mut graph = StateGraph {
-        states: Vec::new(),
-        index: HashMap::new(),
-        init: Vec::new(),
-        edges: Vec::new(),
-        parents: Vec::new(),
-    };
+    let compiled = CompiledSystem::compile(system);
+    let mut scratch = EvalScratch::new();
+    let meter = Meter::start(budget);
+    let mask = options.mask();
+    let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut states: Vec<State> = Vec::new();
+    // Unmasked fingerprint per state id, for incremental derivation.
+    let mut fps: Vec<u64> = Vec::new();
+    let mut edges: Vec<Vec<Edge>> = Vec::new();
+    let mut parents: Vec<Option<(usize, usize)>> = Vec::new();
+    let mut init: Vec<usize> = Vec::new();
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
     for s in init_states {
-        if graph.index.contains_key(&s) {
+        let fp = s.fingerprint();
+        match map.entry(fp & mask) {
+            Entry::Occupied(_) => {}
+            Entry::Vacant(e) => {
+                if let Some(reason) = meter.charge_state() {
+                    exhausted = Some(reason);
+                    break;
+                }
+                let id = states.len();
+                e.insert(id);
+                states.push(s);
+                fps.push(fp);
+                edges.push(Vec::new());
+                parents.push(None);
+                init.push(id);
+                queue.push_back(id);
+            }
+        }
+    }
+    'bfs: while exhausted.is_none() {
+        if let Some(reason) = meter.checkpoint() {
+            exhausted = Some(reason);
+            break;
+        }
+        let Some(id) = queue.pop_front() else {
+            break;
+        };
+        // An Arc bump, not a copy: releases the arena borrow so the
+        // visitor below may push new states into it.
+        let parent = states[id].clone();
+        let parent_fp = fps[id];
+        let cut = compiled.for_each_successor(&parent, &mut scratch, |action, assignments| {
+            if let Some(reason) = meter.charge_transition() {
+                return ControlFlow::Break(reason);
+            }
+            let child_fp = parent.fingerprint_with(parent_fp, assignments);
+            let target = match map.entry(child_fp & mask) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    if let Some(reason) = meter.charge_state() {
+                        return ControlFlow::Break(reason);
+                    }
+                    let nid = states.len();
+                    e.insert(nid);
+                    states.push(parent.with(assignments));
+                    fps.push(child_fp);
+                    edges.push(Vec::new());
+                    parents.push(Some((id, action)));
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            edges[id].push(Edge { action, target });
+            ControlFlow::Continue(())
+        })?;
+        if let Some(reason) = cut {
+            // Re-queue the half-expanded state so the frontier
+            // honestly reports it as uncovered.
+            queue.push_front(id);
+            exhausted = Some(reason);
+            break 'bfs;
+        }
+    }
+    let graph = StateGraph {
+        states,
+        visited: Visited::Fingerprint { map, mask },
+        init,
+        edges,
+        parents,
+    };
+    let outcome = match exhausted {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Exhausted {
+            reason,
+            frontier_size: queue.len(),
+            stats: graph.stats(),
+        },
+    };
+    Ok(Exploration {
+        frontier: queue.into_iter().collect(),
+        graph,
+        outcome,
+    })
+}
+
+/// The exact fallback: the visited set is keyed by whole states, so
+/// every successor is materialized and hashed in full. Collision-free
+/// by construction, at a throughput cost.
+fn explore_sequential_exact(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let compiled = CompiledSystem::compile(system);
+    let mut scratch = EvalScratch::new();
+    let mut succ: Vec<(usize, State)> = Vec::new();
+    let meter = Meter::start(budget);
+    let mut graph = StateGraph::new(options.mode, options.mask());
+    let mut queue = std::collections::VecDeque::new();
+    let mut exhausted: Option<ExhaustReason> = None;
+    for s in init_states {
+        let (seen, fp) = graph.visited.lookup(&s);
+        if seen.is_some() {
             continue;
         }
         if let Some(reason) = meter.charge_state() {
@@ -289,7 +702,7 @@ pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration,
             break;
         }
         let id = graph.states.len();
-        graph.index.insert(s.clone(), id);
+        graph.visited.insert(&s, fp, id);
         graph.states.push(s);
         graph.edges.push(Vec::new());
         graph.parents.push(None);
@@ -304,8 +717,8 @@ pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration,
         let Some(id) = queue.pop_front() else {
             break;
         };
-        let succ = system.successors(&graph.states[id].clone())?;
-        for (action, t) in succ {
+        compiled.successors_into(&graph.states[id], &mut succ, &mut scratch)?;
+        for (action, t) in succ.drain(..) {
             if let Some(reason) = meter.charge_transition() {
                 // Re-queue the half-expanded state so the frontier
                 // honestly reports it as uncovered.
@@ -313,8 +726,9 @@ pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration,
                 exhausted = Some(reason);
                 break 'bfs;
             }
-            let target = match graph.index.get(&t) {
-                Some(existing) => *existing,
+            let (seen, fp) = graph.visited.lookup(&t);
+            let target = match seen {
+                Some(existing) => existing,
                 None => {
                     if let Some(reason) = meter.charge_state() {
                         queue.push_front(id);
@@ -322,7 +736,7 @@ pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration,
                         break 'bfs;
                     }
                     let nid = graph.states.len();
-                    graph.index.insert(t.clone(), nid);
+                    graph.visited.insert(&t, fp, nid);
                     graph.states.push(t);
                     graph.edges.push(Vec::new());
                     graph.parents.push(Some((id, action)));
@@ -348,27 +762,464 @@ pub fn explore_governed(system: &System, budget: &Budget) -> Result<Exploration,
     })
 }
 
-/// Explores the reachable states of a system breadth-first.
-///
-/// This is the all-or-nothing interface: exceeding
-/// `options.max_states` is reported as an error. Callers who want the
-/// partial graph (and finer-grained limits) should use
-/// [`explore_governed`].
-///
-/// # Errors
-///
-/// * [`CheckError::NoInitialStates`] if the initial specification is
-///   empty;
-/// * [`CheckError::TooManyStates`] beyond `options.max_states`;
-/// * evaluation/domain errors from firing actions.
-pub fn explore(system: &System, options: &ExploreOptions) -> Result<StateGraph, CheckError> {
-    let run = explore_governed(system, &Budget::default().states(options.max_states))?;
-    match run.outcome {
-        Outcome::Complete => Ok(run.graph),
-        Outcome::Exhausted { .. } => Err(CheckError::TooManyStates {
-            limit: options.max_states,
-        }),
+// ---------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------
+
+/// Shard count of the parallel visited set (a power of two; the shard
+/// is picked from the low fingerprint bits).
+const NUM_SHARDS: usize = 64;
+
+/// Provisional state id used during parallel exploration:
+/// `shard << 32 | index within the shard's arena`. Renumbering maps
+/// these to canonical sequential indices afterwards.
+type Pid = u64;
+
+fn pid(shard: usize, local: usize) -> Pid {
+    ((shard as u64) << 32) | local as u64
+}
+
+fn shard_of(p: Pid) -> usize {
+    (p >> 32) as usize
+}
+
+fn local_of(p: Pid) -> usize {
+    (p & 0xffff_ffff) as usize
+}
+
+/// One shard of the parallel visited set: a keyed dedup map, the
+/// shard's slice of the state arena, and the unmasked fingerprint of
+/// each arena entry (kept so workers can derive successor fingerprints
+/// incrementally with [`State::fingerprint_with`]).
+#[derive(Debug)]
+struct Shard {
+    keys: ShardKeys,
+    arena: Vec<State>,
+    fps: Vec<u64>,
+}
+
+#[derive(Debug)]
+enum ShardKeys {
+    Exact(HashMap<State, u32>),
+    Fingerprint(FxHashMap<u64, u32>),
+}
+
+impl Shard {
+    fn new(mode: VisitedMode) -> Shard {
+        Shard {
+            keys: match mode {
+                VisitedMode::Exact => ShardKeys::Exact(HashMap::new()),
+                VisitedMode::Fingerprint => ShardKeys::Fingerprint(FxHashMap::default()),
+            },
+            arena: Vec::new(),
+            fps: Vec::new(),
+        }
     }
+}
+
+/// What each worker accumulated during one level.
+#[derive(Debug, Default)]
+struct WorkerOut {
+    /// `(parent, action, child)` records, contiguous and in action
+    /// order per parent — each parent is expanded by exactly one
+    /// worker, so these splice into per-parent edge lists losslessly.
+    edges: Vec<(Pid, u32, Pid)>,
+    /// States inserted by this worker: the next level's frontier.
+    next: Vec<Pid>,
+    /// Parents whose expansion was cut short by budget exhaustion
+    /// (requeued on the reported frontier).
+    interrupted: Vec<Pid>,
+}
+
+/// Shared coordination state of one parallel run.
+struct ParShared<'a> {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    meter: &'a Meter,
+    stop: AtomicBool,
+    reason: Mutex<Option<ExhaustReason>>,
+    error: Mutex<Option<CheckError>>,
+}
+
+impl ParShared<'_> {
+    /// Records the first exhaustion reason and raises the stop flag.
+    fn note_exhaustion(&self, r: ExhaustReason) {
+        self.reason.lock().unwrap().get_or_insert(r);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Records the first engine error and raises the stop flag.
+    fn note_error(&self, e: CheckError) {
+        self.error.lock().unwrap().get_or_insert(e);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// The state behind a pid, with its unmasked fingerprint.
+    fn state_of(&self, p: Pid) -> (State, u64) {
+        let shard = self.shards[shard_of(p)].lock().unwrap();
+        let local = local_of(p);
+        (shard.arena[local].clone(), shard.fps[local])
+    }
+
+    /// Looks up / inserts a state by its (unmasked) fingerprint,
+    /// charging the meter for genuinely new states. `make` materializes
+    /// the state and is only called when it must be: in fingerprint
+    /// mode an already-visited successor is recognized — and skipped —
+    /// without ever being constructed. Returns the pid and whether it
+    /// was new, or the exhaustion reason if the state limit cut the
+    /// insertion off.
+    fn intern_with(
+        &self,
+        fp: u64,
+        make: impl FnOnce() -> State,
+    ) -> Result<(Pid, bool), ExhaustReason> {
+        let key = fp & self.mask;
+        let shard_i = (key as usize) & (NUM_SHARDS - 1);
+        let mut shard = self.shards[shard_i].lock().unwrap();
+        let Shard { keys, arena, fps } = &mut *shard;
+        match keys {
+            ShardKeys::Fingerprint(map) => match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    Ok((pid(shard_i, *e.get() as usize), false))
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if let Some(reason) = self.meter.charge_state() {
+                        return Err(reason);
+                    }
+                    let local = arena.len();
+                    arena.push(make());
+                    fps.push(fp);
+                    e.insert(local as u32);
+                    Ok((pid(shard_i, local), true))
+                }
+            },
+            ShardKeys::Exact(map) => {
+                // Exact mode needs the full state as the dedup key, so
+                // it is always materialized. Sharding by (masked)
+                // fingerprint stays consistent — equal states have
+                // equal fingerprints — and dedup stays exact even when
+                // `fp_bits` forces fingerprint collisions.
+                let t = make();
+                if let Some(&local) = map.get(&t) {
+                    return Ok((pid(shard_i, local as usize), false));
+                }
+                if let Some(reason) = self.meter.charge_state() {
+                    return Err(reason);
+                }
+                let local = arena.len();
+                arena.push(t.clone());
+                fps.push(fp);
+                map.insert(t, local as u32);
+                Ok((pid(shard_i, local), true))
+            }
+        }
+    }
+}
+
+/// Level-synchronous parallel BFS: scoped workers drain the current
+/// frontier through an atomic cursor, interning successors into the
+/// sharded visited set; when a level is exhausted the workers'
+/// newly-inserted states become the next frontier. A final sequential
+/// renumbering pass replays the BFS over the recorded per-parent edge
+/// lists, producing canonical (sequential-identical) state indices.
+fn explore_parallel_impl(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<Exploration, CheckError> {
+    if threads <= 1 {
+        // With a single worker, level-synchronous BFS degenerates to
+        // plain sequential BFS — same discovery order, same graph — so
+        // the sharding and renumbering machinery would be pure
+        // overhead. Delegate.
+        return explore_sequential(system, budget, options);
+    }
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let compiled = CompiledSystem::compile(system);
+    let meter = Meter::start(budget);
+    let shared = ParShared {
+        shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new(options.mode))).collect(),
+        mask: options.mask(),
+        meter: &meter,
+        stop: AtomicBool::new(false),
+        reason: Mutex::new(None),
+        error: Mutex::new(None),
+    };
+
+    // Initial states: interned sequentially so their canonical order
+    // is the enumeration order, exactly as in the sequential engine.
+    let mut init_pids: Vec<Pid> = Vec::new();
+    for s in init_states {
+        let fp = s.fingerprint();
+        match shared.intern_with(fp, move || s) {
+            Ok((p, true)) => init_pids.push(p),
+            Ok((_, false)) => {}
+            Err(reason) => {
+                shared.note_exhaustion(reason);
+                break;
+            }
+        }
+    }
+
+    let mut frontier: Vec<Pid> = init_pids.clone();
+    // Every worker's edge vector, kept whole: each parent is expanded
+    // by exactly one worker, so its edges form one contiguous run (in
+    // action order) inside exactly one of these vectors.
+    let mut all_edges: Vec<Vec<(Pid, u32, Pid)>> = Vec::new();
+    // Discovered-but-unexpanded pids once the run stops early.
+    let mut pending: Vec<Pid> = Vec::new();
+    while !frontier.is_empty() && !shared.stop.load(Ordering::Relaxed) {
+        let cursor = AtomicUsize::new(0);
+        let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        run_worker(&shared, &compiled, &frontier, &cursor)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut next: Vec<Pid> = Vec::new();
+        for out in outs {
+            if !out.edges.is_empty() {
+                all_edges.push(out.edges);
+            }
+            next.extend(out.next);
+            pending.extend(out.interrupted);
+        }
+        // Frontier entries never claimed before the stop flag rose.
+        let claimed = cursor.load(Ordering::Relaxed).min(frontier.len());
+        pending.extend(&frontier[claimed..]);
+        frontier = next;
+    }
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    // A level discovered but never entered (stop rose between levels).
+    pending.extend(frontier);
+
+    // Workers are done: take the shards (and the exhaustion record)
+    // out of their locks.
+    let ParShared { shards, reason, .. } = shared;
+    let shards: Vec<Shard> = shards
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
+
+    // ---- canonical renumbering --------------------------------------
+    // Replay the BFS sequentially over the recorded edge runs.
+    // Discovery order — init enumeration order, then children in
+    // (parent BFS order × action order) — is exactly the sequential
+    // engine's order, so ids, edges, parents, and traces coincide.
+    //
+    // Index each parent's run first: `edge_index[shard][local]` is
+    // `(which vector, start, length)`, `u32::MAX` marking "no edges".
+    // Every interned state has a recorded incoming edge (interning and
+    // edge-recording are adjacent and uninterruptible in the worker) or
+    // is initial, so this replay reaches every interned state.
+    const NO_RUN: (u32, u32, u32) = (u32::MAX, 0, 0);
+    let mut edge_index: Vec<Vec<(u32, u32, u32)>> = shards
+        .iter()
+        .map(|sh| vec![NO_RUN; sh.arena.len()])
+        .collect();
+    for (vi, recs) in all_edges.iter().enumerate() {
+        let mut i = 0;
+        while i < recs.len() {
+            let parent = recs[i].0;
+            let mut j = i + 1;
+            while j < recs.len() && recs[j].0 == parent {
+                j += 1;
+            }
+            edge_index[shard_of(parent)][local_of(parent)] =
+                (vi as u32, i as u32, (j - i) as u32);
+            i = j;
+        }
+    }
+
+    let mut canon: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|sh| vec![u32::MAX; sh.arena.len()])
+        .collect();
+    let mut states: Vec<State> = Vec::new();
+    let mut edges: Vec<Vec<Edge>> = Vec::new();
+    let mut parents: Vec<Option<(usize, usize)>> = Vec::new();
+    let mut init: Vec<usize> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &p in &init_pids {
+        let id = states.len();
+        canon[shard_of(p)][local_of(p)] = id as u32;
+        states.push(shards[shard_of(p)].arena[local_of(p)].clone());
+        edges.push(Vec::new());
+        parents.push(None);
+        init.push(id);
+        queue.push_back(p);
+    }
+    while let Some(p) = queue.pop_front() {
+        let id = canon[shard_of(p)][local_of(p)] as usize;
+        let (vi, start, len) = edge_index[shard_of(p)][local_of(p)];
+        if vi == u32::MAX {
+            continue;
+        }
+        let run = &all_edges[vi as usize][start as usize..(start + len) as usize];
+        for &(_, action, child) in run {
+            let slot = &mut canon[shard_of(child)][local_of(child)];
+            let target = if *slot == u32::MAX {
+                let nid = states.len();
+                *slot = nid as u32;
+                states.push(shards[shard_of(child)].arena[local_of(child)].clone());
+                edges.push(Vec::new());
+                parents.push(Some((id, action as usize)));
+                queue.push_back(child);
+                nid
+            } else {
+                *slot as usize
+            };
+            edges[id].push(Edge {
+                action: action as usize,
+                target,
+            });
+        }
+    }
+
+    // The final visited set comes straight from the shard key maps,
+    // remapped through `canon` — no state is rehashed.
+    let visited = match options.mode {
+        VisitedMode::Fingerprint => {
+            let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+            map.reserve(states.len());
+            for (si, shard) in shards.iter().enumerate() {
+                if let ShardKeys::Fingerprint(m) = &shard.keys {
+                    for (&fp, &local) in m {
+                        let id = canon[si][local as usize];
+                        if id != u32::MAX {
+                            map.insert(fp, id as usize);
+                        }
+                    }
+                }
+            }
+            Visited::Fingerprint {
+                map,
+                mask: options.mask(),
+            }
+        }
+        VisitedMode::Exact => {
+            let mut map: HashMap<State, usize> = HashMap::with_capacity(states.len());
+            for (si, shard) in shards.iter().enumerate() {
+                if let ShardKeys::Exact(m) = &shard.keys {
+                    for (s, &local) in m {
+                        let id = canon[si][local as usize];
+                        if id != u32::MAX {
+                            map.insert(s.clone(), id as usize);
+                        }
+                    }
+                }
+            }
+            Visited::Exact(map)
+        }
+    };
+    let graph = StateGraph {
+        states,
+        visited,
+        init,
+        edges,
+        parents,
+    };
+
+    let reason = reason.into_inner().unwrap();
+    let outcome = match reason {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Exhausted {
+            reason,
+            frontier_size: {
+                pending.sort_unstable();
+                pending.dedup();
+                pending.len()
+            },
+            stats: graph.stats(),
+        },
+    };
+    let mut frontier: Vec<usize> = pending
+        .iter()
+        .map(|&p| canon[shard_of(p)][local_of(p)] as usize)
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+    Ok(Exploration {
+        graph,
+        outcome,
+        frontier,
+    })
+}
+
+/// One worker's share of a level: claim parents through the cursor,
+/// expand them with the compiled stepper, intern the children.
+///
+/// Children's fingerprints are derived incrementally from the parent's
+/// ([`State::fingerprint_with`]), so in fingerprint mode an
+/// already-visited child is recognized without ever being constructed.
+/// Interning a child and recording its edge are adjacent — nothing can
+/// interrupt between them — which is what guarantees the renumbering
+/// pass reaches every interned state.
+fn run_worker(
+    shared: &ParShared<'_>,
+    compiled: &CompiledSystem<'_>,
+    frontier: &[Pid],
+    cursor: &AtomicUsize,
+) -> WorkerOut {
+    use std::ops::ControlFlow;
+
+    let mut out = WorkerOut::default();
+    let mut scratch = EvalScratch::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(reason) = shared.meter.checkpoint() {
+            shared.note_exhaustion(reason);
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&parent) = frontier.get(i) else {
+            break;
+        };
+        let (s, s_fp) = shared.state_of(parent);
+        let result = compiled.for_each_successor(&s, &mut scratch, |action, assignments| {
+            if let Some(reason) = shared.meter.charge_transition() {
+                shared.note_exhaustion(reason);
+                out.interrupted.push(parent);
+                return ControlFlow::Break(());
+            }
+            let child_fp = s.fingerprint_with(s_fp, assignments);
+            match shared.intern_with(child_fp, || s.with(assignments)) {
+                Ok((child, is_new)) => {
+                    if is_new {
+                        out.next.push(child);
+                    }
+                    out.edges.push((parent, action as u32, child));
+                    ControlFlow::Continue(())
+                }
+                Err(reason) => {
+                    shared.note_exhaustion(reason);
+                    out.interrupted.push(parent);
+                    ControlFlow::Break(())
+                }
+            }
+        });
+        match result {
+            Ok(None) => {}
+            Ok(Some(())) => break,
+            Err(e) => {
+                shared.note_error(e);
+                break;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -386,6 +1237,29 @@ mod tests {
             vec![(x, Expr::var(x).add(Expr::int(1)))],
         );
         System::new(vars, Init::new([(x, Value::Int(0))]), vec![incr])
+    }
+
+    /// A branching system: two counters stepped independently — enough
+    /// breadth for the parallel engine to actually fan out.
+    fn grid(max: i64) -> System {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, max));
+        let y = vars.declare("y", Domain::int_range(0, max));
+        let step_x = GuardedAction::new(
+            "step_x",
+            Expr::var(x).lt(Expr::int(max)),
+            vec![(x, Expr::var(x).add(Expr::int(1)))],
+        );
+        let step_y = GuardedAction::new(
+            "step_y",
+            Expr::var(y).lt(Expr::int(max)),
+            vec![(y, Expr::var(y).add(Expr::int(1)))],
+        );
+        System::new(
+            vars,
+            Init::new([(x, Value::Int(0)), (y, Value::Int(0))]),
+            vec![step_x, step_y],
+        )
     }
 
     #[test]
@@ -409,7 +1283,10 @@ mod tests {
 
     #[test]
     fn state_limit_enforced() {
-        let opts = ExploreOptions { max_states: 3 };
+        let opts = ExploreOptions {
+            max_states: 3,
+            ..ExploreOptions::default()
+        };
         assert!(matches!(
             explore(&counter(10), &opts),
             Err(CheckError::TooManyStates { limit: 3 })
@@ -427,6 +1304,10 @@ mod tests {
         );
         assert!(matches!(
             explore(&sys, &ExploreOptions::default()),
+            Err(CheckError::NoInitialStates)
+        ));
+        assert!(matches!(
+            explore_parallel(&sys, &ExploreOptions::default()),
             Err(CheckError::NoInitialStates)
         ));
     }
@@ -564,5 +1445,127 @@ mod tests {
         assert_eq!(graph.init().len(), 2);
         assert!(graph.index_of(graph.state(0)).is_some());
         let _ = x;
+    }
+
+    #[test]
+    fn exact_mode_matches_fingerprint_mode() {
+        let fp = explore(&grid(4), &ExploreOptions::default()).unwrap();
+        let exact = explore(
+            &grid(4),
+            &ExploreOptions {
+                mode: VisitedMode::Exact,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fp.stats(), exact.stats());
+        assert_eq!(fp.states(), exact.states());
+        for id in 0..fp.len() {
+            assert_eq!(fp.edges(id), exact.edges(id));
+            assert_eq!(fp.trace_to(id), exact.trace_to(id));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        for threads in [1, 2, 4] {
+            let seq = explore(&grid(4), &ExploreOptions::default()).unwrap();
+            let par = explore_parallel(
+                &grid(4),
+                &ExploreOptions {
+                    threads: Some(threads),
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.stats(), par.stats(), "threads = {threads}");
+            assert_eq!(seq.states(), par.states(), "threads = {threads}");
+            assert_eq!(seq.init(), par.init(), "threads = {threads}");
+            for id in 0..seq.len() {
+                assert_eq!(seq.edges(id), par.edges(id), "threads = {threads}");
+                assert_eq!(seq.trace_to(id), par.trace_to(id), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_governed_exhaustion_is_honest() {
+        let run = explore_parallel_governed(
+            &grid(6),
+            &Budget::default().states(10),
+            &ExploreOptions {
+                threads: Some(3),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.graph.len(), 10);
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(ExhaustReason::StateLimit { limit: 10 })
+        ));
+        // Every recorded state is reachable and traceable; the
+        // frontier holds real, in-graph indices.
+        for id in 0..run.graph.len() {
+            assert!(!run.trace_to(id).is_empty());
+        }
+        for &f in &run.frontier {
+            assert!(f < run.graph.len());
+        }
+        assert!(!run.frontier.is_empty());
+    }
+
+    #[test]
+    fn forced_collisions_underapproximate_and_exact_mode_recovers() {
+        // 1-bit fingerprints conflate almost everything: the explorer
+        // must *under*-approximate (strictly fewer states, no invented
+        // ones), and exact mode must restore the full count.
+        let full = explore(&grid(4), &ExploreOptions::default()).unwrap();
+        let collided = explore(
+            &grid(4),
+            &ExploreOptions {
+                fp_bits: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(collided.len() < full.len());
+        assert!(collided.len() <= 2);
+        // Every state the collided run kept is genuinely reachable.
+        for s in collided.states() {
+            assert!(full.index_of(s).is_some());
+        }
+        let exact = explore(
+            &grid(4),
+            &ExploreOptions {
+                fp_bits: 1,
+                mode: VisitedMode::Exact,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.len(), full.len());
+    }
+
+    #[test]
+    fn index_of_verifies_under_collisions() {
+        // With forced collisions, index_of must refuse to misattribute
+        // a displaced state to its collision partner's index.
+        let collided = explore(
+            &grid(4),
+            &ExploreOptions {
+                fp_bits: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let full = explore(&grid(4), &ExploreOptions::default()).unwrap();
+        for s in full.states() {
+            // A state displaced by a collision is honestly absent
+            // (None); a found index must point at the exact state.
+            if let Some(id) = collided.index_of(s) {
+                assert_eq!(collided.state(id), s);
+            }
+        }
     }
 }

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod compiled;
 mod counterexample;
 mod error;
 mod explore;
@@ -63,10 +64,13 @@ mod simulate;
 mod system;
 
 pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
+pub use compiled::{CompiledExpr, CompiledSystem, EvalScratch};
 pub use counterexample::Counterexample;
 pub use error::CheckError;
 pub use explore::{
-    explore, explore_governed, Edge, Exploration, ExploreOptions, GraphStats, StateGraph,
+    explore, explore_governed, explore_governed_with, explore_parallel,
+    explore_parallel_governed, Edge, Exploration, ExploreOptions, GraphStats, StateGraph,
+    VisitedMode,
 };
 pub use invariant::{check_invariant, check_step_invariant};
 pub use liveness::{check_liveness, check_liveness_governed, LiveTarget, LivenessRun};

@@ -409,12 +409,29 @@ impl System {
     /// Propagates guard/update evaluation errors and domain violations.
     pub fn successors(&self, s: &State) -> Result<Vec<(usize, State)>, CheckError> {
         let mut out = Vec::new();
+        self.successors_into(s, &mut out)?;
+        Ok(out)
+    }
+
+    /// Appends all successors of a state into `out`, reusing its
+    /// capacity — the allocation-free variant of [`System::successors`]
+    /// for exploration hot loops. `out` is cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guard/update evaluation errors and domain violations.
+    pub fn successors_into(
+        &self,
+        s: &State,
+        out: &mut Vec<(usize, State)>,
+    ) -> Result<(), CheckError> {
+        out.clear();
         for (i, a) in self.actions.iter().enumerate() {
             if let Some(t) = a.fire(s, self.vars())? {
                 out.push((i, t));
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

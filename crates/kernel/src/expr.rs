@@ -5,6 +5,10 @@ use crate::{EvalError, State, StatePair, Value, VarId, VarSet, Vars};
 use std::fmt;
 
 /// A unary operator.
+///
+/// [`UnOp::apply`] is the single source of truth for the operator's
+/// value semantics, shared by the tree-walking evaluator here and by
+/// compiled evaluators built on top of the kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum UnOp {
     /// Boolean negation `¬`.
@@ -20,6 +24,12 @@ pub enum UnOp {
 }
 
 /// A binary operator.
+///
+/// [`BinOp::apply`] is the single source of truth for the operator's
+/// value semantics on already-evaluated operands. Note that `∧`/`∨`
+/// are n-ary [`Expr`] nodes, not binary operators, and that
+/// [`BinOp::Implies`] *as applied by the evaluator* short-circuits —
+/// `apply` is only reached for implications whose antecedent held.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BinOp {
     /// Integer addition.
@@ -473,7 +483,10 @@ impl Expr {
     }
 }
 
-fn expect_bool(v: Value) -> Result<bool, EvalError> {
+/// Coerces a value into a boolean, with the evaluator's standard
+/// "boolean context" type error. Exposed so compiled evaluators report
+/// byte-identical diagnostics.
+pub fn expect_bool(v: Value) -> Result<bool, EvalError> {
     v.as_bool().ok_or(EvalError::TypeMismatch {
         op: "boolean context",
         value: v,
@@ -483,6 +496,33 @@ fn expect_bool(v: Value) -> Result<bool, EvalError> {
 fn expect_int(op: &'static str, v: Value) -> Result<i64, EvalError> {
     v.as_int()
         .ok_or(EvalError::TypeMismatch { op, value: v })
+}
+
+impl UnOp {
+    /// Applies the operator to an evaluated operand.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches, overflow, and `Head`/`Tail` of empty sequences.
+    pub fn apply(self, v: Value) -> Result<Value, EvalError> {
+        eval_unary(self, v)
+    }
+}
+
+impl BinOp {
+    /// Applies the operator to evaluated operands.
+    ///
+    /// For [`BinOp::Implies`] this is the *non-short-circuit* reading
+    /// (both operands already evaluated); evaluators that implement the
+    /// short-circuit form must branch before evaluating the consequent,
+    /// exactly as [`Expr::eval_state`] does.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches, overflow, and division by zero.
+    pub fn apply(self, a: Value, b: Value) -> Result<Value, EvalError> {
+        eval_binary(self, a, b)
+    }
 }
 
 fn eval_unary(op: UnOp, v: Value) -> Result<Value, EvalError> {

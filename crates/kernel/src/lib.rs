@@ -54,7 +54,7 @@ mod var;
 
 pub use action::{box_action, enabled_vars, unchanged};
 pub use error::{EvalError, KernelError};
-pub use expr::{BinOp, Expr, ExprDisplay, UnOp};
+pub use expr::{expect_bool, BinOp, Expr, ExprDisplay, UnOp};
 pub use formula::FormulaDisplay;
 pub use state::StateDisplay;
 pub use formula::{Fairness, FairnessKind, Formula};

@@ -23,7 +23,10 @@ fn state_limit_surfaces_through_compose() {
         mapping: Substitution::default(),
     };
     let options = CompositionOptions {
-        explore: ExploreOptions { max_states: 0 },
+        explore: ExploreOptions {
+            max_states: 0,
+            ..ExploreOptions::default()
+        },
         ..CompositionOptions::default()
     };
     let cert = compose(&problem, &options).expect("exhaustion is not an error");

@@ -21,19 +21,33 @@
 //! and transition counts (the fingerprint/parallel engines are exact
 //! reformulations, not approximations, on these state-space sizes).
 //!
+//! Two observability artifacts ride along (PR 3):
+//!
+//! * an **overhead gate** — the current engine with a [`NullRecorder`]
+//!   must stay within 5% of `plain`, a verbatim copy of the PR2
+//!   fingerprinted engine with no observability layer at all, on the
+//!   largest queue chain of the run;
+//! * `OBS_explore.jsonl` — the largest chain explored under a
+//!   [`JsonlRecorder`] by three engines (sequential fingerprinted,
+//!   sequential exact, 4-thread parallel), schema-validated, with
+//!   state/transition totals asserted identical across all three.
+//!
 //! Usage: `bench_explore [--smoke]`. `--smoke` runs a reduced scenario
 //! set with one timing iteration — the CI configuration; full runs use
 //! the best of three iterations per engine.
 
+use fxhash::FxHashMap;
 use opentla_bench::ms;
 use opentla_check::{
-    explore, explore_parallel, Budget, CheckError, ExploreOptions, Meter, StateGraph,
-    System,
+    explore_governed_with, explore_parallel, obs, Budget, CheckError, CompiledSystem,
+    EvalScratch, ExploreOptions, JsonlRecorder, Meter, RecorderHandle, StateGraph,
+    System, VisitedMode,
 };
 use opentla_kernel::State;
 use opentla_queue::{FairnessStyle, QueueChain};
 use opentla_scenarios::{AlternatingBit, ArbiterFairness, Mutex, TokenRing};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The seed explorer, reimplemented verbatim for an honest baseline:
@@ -82,6 +96,82 @@ fn explore_seed(system: &System, max_states: usize) -> Result<(usize, usize), Ch
         }
     }
     Ok((states.len(), edges.iter().map(Vec::len).sum()))
+}
+
+/// The PR2 sequential fingerprinted engine, reimplemented verbatim
+/// *without* the observability layer (no `Meter`, no recorder, no
+/// phase events): the un-instrumented baseline the `NullRecorder`
+/// overhead gate compares the shipping engine against.
+fn explore_plain(
+    system: &System,
+    max_states: usize,
+) -> Result<(usize, usize), CheckError> {
+    use std::collections::hash_map::Entry;
+    use std::ops::ControlFlow;
+
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let compiled = CompiledSystem::compile(system);
+    let mut scratch = EvalScratch::new();
+    let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut states: Vec<State> = Vec::new();
+    let mut fps: Vec<u64> = Vec::new();
+    let mut transitions = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in init_states {
+        let fp = s.fingerprint();
+        if let Entry::Vacant(e) = map.entry(fp) {
+            assert!(states.len() < max_states, "plain run exceeded {max_states} states");
+            let id = states.len();
+            e.insert(id);
+            states.push(s);
+            fps.push(fp);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let parent = states[id].clone();
+        let parent_fp = fps[id];
+        compiled.for_each_successor(&parent, &mut scratch, |_action, assignments| {
+            transitions += 1;
+            let child_fp = parent.fingerprint_with(parent_fp, assignments);
+            if let Entry::Vacant(e) = map.entry(child_fp) {
+                assert!(
+                    states.len() < max_states,
+                    "plain run exceeded {max_states} states"
+                );
+                let nid = states.len();
+                e.insert(nid);
+                states.push(parent.with(assignments));
+                fps.push(child_fp);
+                queue.push_back(nid);
+            }
+            ControlFlow::<std::convert::Infallible>::Continue(())
+        })?;
+    }
+    Ok((states.len(), transitions))
+}
+
+/// The shipping engine with an explicitly null recorder — immune to an
+/// ambient `OPENTLA_OBS` setting, so timings measure the disabled-path
+/// overhead and nothing else.
+fn explore_null(
+    system: &System,
+    options: &ExploreOptions,
+    threads: usize,
+) -> StateGraph {
+    let budget = Budget::default()
+        .states(options.max_states)
+        .with_recorder(RecorderHandle::null());
+    let opts = ExploreOptions {
+        threads: Some(threads),
+        ..options.clone()
+    };
+    let run = explore_governed_with(system, &budget, &opts).expect("explores");
+    assert!(run.outcome.is_complete(), "scenario exceeds the state budget");
+    run.graph
 }
 
 struct Scenario {
@@ -181,21 +271,44 @@ fn main() {
         "# bench_explore ({} mode, {iters} iteration(s), {threads} thread(s))\n",
         if smoke { "smoke" } else { "full" }
     );
-    println!("| scenario | states | transitions | seed | seq_fp | par_fp | seq_fp× | par_fp× |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | seq_fp× | par_fp× | null-ovh |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
 
     let mut rows = Vec::new();
     let mut acceptance: Option<(String, f64)> = None;
-    for sc in scenarios(smoke) {
+    let mut overhead: Option<(String, f64)> = None;
+    let all = scenarios(smoke);
+    // The overhead gate runs on the largest chain of the active set
+    // (chain4 full, chain3 smoke) — the scenario big enough for the
+    // per-checkpoint branch to show up if it ever costs anything.
+    let gate_name = all
+        .iter()
+        .rev()
+        .find(|sc| sc.name.starts_with("chain"))
+        .map(|sc| sc.name)
+        .expect("a chain scenario is always present");
+    for sc in all {
         let max = options.max_states;
+        // Timing comparisons within 5% need more than one sample:
+        // best-of-5 on the gate scenario even in smoke mode.
+        let gate_iters = if sc.name == gate_name { iters.max(5) } else { iters };
         let (seed_t, seed_counts) =
             time_best(iters, || explore_seed(&sc.system, max).expect("seed explores"));
+        let (plain_t, plain_counts) = time_best(gate_iters, || {
+            explore_plain(&sc.system, max).expect("plain explores")
+        });
         let (seq_t, seq_graph) =
-            time_best(iters, || explore(&sc.system, &options).expect("seq_fp explores"));
+            time_best(gate_iters, || explore_null(&sc.system, &options, 1));
         let (par_t, par_graph) = time_best(iters, || {
             explore_parallel(&sc.system, &par_options).expect("par_fp explores")
         });
         let (states, transitions) = seed_counts;
+        assert_eq!(
+            plain_counts,
+            (states, transitions),
+            "{}: plain disagrees with seed",
+            sc.name
+        );
         assert_eq!(
             graph_counts(&seq_graph),
             (states, transitions),
@@ -213,45 +326,67 @@ fn main() {
             seconds: d.as_secs_f64(),
             states_per_sec: states as f64 / d.as_secs_f64().max(1e-9),
         };
-        let (seed, seq, par) = (run(seed_t), run(seq_t), run(par_t));
+        let (seed, plain, seq, par) = (run(seed_t), run(plain_t), run(seq_t), run(par_t));
         let seq_x = seq.states_per_sec / seed.states_per_sec;
         let par_x = par.states_per_sec / seed.states_per_sec;
+        // Disabled-recorder overhead: how much throughput the shipping
+        // engine gives up against the un-instrumented PR2 copy (< 0
+        // means it measured faster).
+        let null_ovh = 1.0 - seq.states_per_sec / plain.states_per_sec;
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:+.1}% |",
             sc.name,
             states,
             transitions,
             ms(seed_t),
+            ms(plain_t),
             ms(seq_t),
             ms(par_t),
             seq_x,
             par_x,
+            null_ovh * 100.0,
         );
         if sc.is_acceptance {
             acceptance = Some((sc.name.to_string(), par_x));
         }
+        if sc.name == gate_name {
+            overhead = Some((sc.name.to_string(), null_ovh));
+        }
         rows.push(format!(
-            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"acceptance\": {}\n    }}",
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"acceptance\": {}\n    }}",
             sc.name,
             states,
             transitions,
             engine_json(&seed),
+            engine_json(&plain),
             engine_json(&seq),
             engine_json(&par),
             seq_x,
             par_x,
+            null_ovh,
             sc.is_acceptance,
         ));
     }
 
+    // --- observability run report: largest chain, three engines -------
+    let obs_scenario = scenarios(smoke)
+        .into_iter()
+        .rev()
+        .find(|sc| sc.name == gate_name)
+        .expect("the gate scenario exists");
+    let obs_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_explore.jsonl");
+    let obs_totals = write_obs_report(&obs_scenario.system, obs_path);
+    println!("\nwrote {obs_path} ({gate_name}: {obs_totals})");
+
+    let (overhead_name, null_ovh) = overhead.expect("the gate scenario always runs");
     let json = format!(
-        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\"\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");
-    println!("\nwrote {path}");
+    println!("wrote {path}");
 
     if let Some((name, par_x)) = acceptance {
         println!("\nacceptance ({name}): par_fp is {par_x:.2}× the seed throughput");
@@ -260,4 +395,61 @@ fn main() {
             "acceptance regression: par_fp only {par_x:.2}× seed on {name} (need ≥ 2×)"
         );
     }
+    println!(
+        "overhead gate ({overhead_name}): NullRecorder engine gives up {:.1}% \
+         vs the un-instrumented PR2 copy (limit 5%)",
+        null_ovh * 100.0
+    );
+    assert!(
+        null_ovh <= 0.05,
+        "observability regression: NullRecorder path is {:.1}% slower than the \
+         un-instrumented engine on {overhead_name} (limit 5%)",
+        null_ovh * 100.0
+    );
+}
+
+/// Explores `system` under a [`JsonlRecorder`] with three engines —
+/// sequential fingerprinted, sequential exact, and 4-thread parallel —
+/// into one JSONL stream at `path`; validates the stream against the
+/// schema and asserts the three run reports carry identical
+/// state/transition totals. Returns the shared `states/transitions`
+/// rendering.
+fn write_obs_report(system: &System, path: &str) -> String {
+    let recorder = Arc::new(JsonlRecorder::create(path).expect("create OBS_explore.jsonl"));
+    let handle = RecorderHandle::new(recorder.clone());
+    let configs: [(VisitedMode, usize); 3] = [
+        (VisitedMode::Fingerprint, 1),
+        (VisitedMode::Exact, 1),
+        (VisitedMode::Fingerprint, 4),
+    ];
+    for (mode, threads) in configs {
+        let budget = Budget::default().with_recorder(handle.clone());
+        let opts = ExploreOptions {
+            mode,
+            threads: Some(threads),
+            ..ExploreOptions::default()
+        };
+        let run = explore_governed_with(system, &budget, &opts).expect("obs run explores");
+        assert!(run.outcome.is_complete());
+    }
+    recorder.flush();
+    let text = std::fs::read_to_string(path).expect("read back OBS_explore.jsonl");
+    let summary = obs::validate_stream(&text).unwrap_or_else(|e| {
+        panic!("OBS_explore.jsonl fails schema validation: {e}");
+    });
+    assert_eq!(summary.runs.len(), 3, "expected one run report per engine");
+    let totals: Vec<String> = summary
+        .runs
+        .iter()
+        .map(|r| format!("{}/{}", r.states, r.transitions))
+        .collect();
+    assert!(
+        totals.iter().all(|t| t == &totals[0]),
+        "engines disagree in the observability report: {totals:?}"
+    );
+    assert!(
+        summary.runs.iter().all(|r| r.complete),
+        "observability runs must complete"
+    );
+    format!("{} states / {} transitions", summary.runs[0].states, summary.runs[0].transitions)
 }

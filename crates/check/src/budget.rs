@@ -12,8 +12,9 @@
 //! still unexplored, and summary statistics. The [`escalate`] helper
 //! turns that into a retry loop with geometrically growing budgets.
 
+use crate::obs::{self, Event, ProgressSnapshot, RecorderHandle};
 use crate::GraphStats;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,11 @@ pub struct Budget {
     /// Cooperative cancellation: set this flag from another thread and
     /// the engine stops at its next checkpoint.
     pub cancel: Arc<AtomicBool>,
+    /// Where the engines running under this budget narrate their work.
+    /// Defaults to [`obs::global`] — the null recorder unless
+    /// `OPENTLA_OBS=/path.jsonl` is set — so observability rides along
+    /// wherever a budget already travels.
+    pub recorder: RecorderHandle,
 }
 
 impl Default for Budget {
@@ -54,6 +60,7 @@ impl Default for Budget {
             max_transitions: usize::MAX,
             deadline: None,
             cancel: Arc::new(AtomicBool::new(false)),
+            recorder: obs::global(),
         }
     }
 }
@@ -80,6 +87,14 @@ impl Budget {
     /// Replaces the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the recorder (see [`crate::obs`]). Pass
+    /// [`RecorderHandle::null`] to silence a budget that would
+    /// otherwise inherit the `OPENTLA_OBS` global.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -113,6 +128,7 @@ impl Budget {
             max_transitions: scale(self.max_transitions),
             deadline: self.deadline.map(|d| d.saturating_mul(factor)),
             cancel: Arc::clone(&self.cancel),
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -228,6 +244,11 @@ pub struct Meter {
     start: Instant,
     states: AtomicUsize,
     transitions: AtomicUsize,
+    /// `budget.recorder.enabled()`, hoisted once at start so a null
+    /// recorder costs the hot loop a single predictable branch.
+    observe: bool,
+    /// Checkpoint counter driving sampled progress emission.
+    ticks: AtomicU64,
 }
 
 impl Meter {
@@ -239,6 +260,8 @@ impl Meter {
             start: Instant::now(),
             states: AtomicUsize::new(0),
             transitions: AtomicUsize::new(0),
+            observe: budget.recorder.enabled(),
+            ticks: AtomicU64::new(0),
         }
     }
 
@@ -275,7 +298,11 @@ impl Meter {
         }
     }
 
-    /// Deadline and cancellation check, for loop heads.
+    /// Deadline and cancellation check, for loop heads. When a
+    /// recorder is enabled, also emits a sampled
+    /// [`Event::Progress`] every [`obs::PROGRESS_SAMPLE`] checkpoints
+    /// — the instrumentation piggybacks on the cadence the loop
+    /// already pays for, keeping the hot path allocation-free.
     pub fn checkpoint(&self) -> Option<ExhaustReason> {
         if self.budget.cancel.load(Ordering::Relaxed) {
             return Some(ExhaustReason::Cancelled);
@@ -285,7 +312,55 @@ impl Meter {
                 return Some(ExhaustReason::Deadline { allowed });
             }
         }
+        if self.observe {
+            let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+            if tick % obs::PROGRESS_SAMPLE == obs::PROGRESS_SAMPLE - 1 {
+                self.emit_progress(None, None, None);
+            }
+        }
         None
+    }
+
+    /// Emits one [`Event::Progress`] snapshot with the current counts
+    /// (no-op when the recorder is disabled). Engines that know their
+    /// frontier size, BFS level, or worker index pass them here.
+    pub fn emit_progress(
+        &self,
+        frontier: Option<u64>,
+        level: Option<u64>,
+        worker: Option<u64>,
+    ) {
+        if !self.observe {
+            return;
+        }
+        let finite = |n: usize| (n != usize::MAX).then_some(n as u64);
+        self.budget.recorder.record(&Event::Progress {
+            snapshot: ProgressSnapshot {
+                states: self.states_used() as u64,
+                transitions: self.transitions_used() as u64,
+                elapsed_nanos: self.start.elapsed().as_nanos() as u64,
+                frontier,
+                level,
+                worker,
+                budget_states: finite(self.budget.max_states),
+                budget_transitions: finite(self.budget.max_transitions),
+            },
+        });
+    }
+
+    /// Whether a recorder is enabled on this meter's budget.
+    pub fn observed(&self) -> bool {
+        self.observe
+    }
+
+    /// The budget's recorder handle (the null handle by default).
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.budget.recorder
+    }
+
+    /// Nanoseconds since this meter started.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
     }
 
     /// States charged so far.

@@ -20,6 +20,7 @@
 
 use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
 use crate::compiled::{CompiledSystem, EvalScratch};
+use crate::obs::{Event, Phase, PhaseGuard, ProgressSnapshot, RunReport, OBS_SCHEMA_VERSION};
 use crate::{CheckError, System};
 use fxhash::FxHashMap;
 use opentla_kernel::State;
@@ -448,11 +449,97 @@ pub fn explore_governed_with(
     options: &ExploreOptions,
 ) -> Result<Exploration, CheckError> {
     let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
+    explore_observed(system, budget, options, threads)
+}
+
+/// Routes to the engine picked by `threads`.
+fn explore_dispatch(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<Exploration, CheckError> {
     if threads > 1 {
         explore_parallel_impl(system, budget, options, threads)
     } else {
         explore_sequential(system, budget, options)
     }
+}
+
+/// Brackets an engine dispatch in [`Event::RunStart`] /
+/// [`Event::RunEnd`] when the budget carries an enabled recorder,
+/// emitting a final *exact* progress snapshot (from the finished
+/// graph's statistics, so it agrees with the report by construction)
+/// and the schema-versioned [`RunReport`]. With the default null
+/// recorder this is a single branch.
+fn explore_observed(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<Exploration, CheckError> {
+    let rec = budget.recorder.clone();
+    if !rec.enabled() {
+        return explore_dispatch(system, budget, options, threads);
+    }
+    let engine = if threads > 1 {
+        "explore_parallel"
+    } else {
+        "explore_sequential"
+    };
+    let mode = match options.mode {
+        VisitedMode::Fingerprint => "fingerprint",
+        VisitedMode::Exact => "exact",
+    };
+    rec.record(&Event::RunStart {
+        engine,
+        threads,
+        mode,
+    });
+    let start = std::time::Instant::now();
+    let result = explore_dispatch(system, budget, options, threads);
+    let report = match &result {
+        Ok(run) => {
+            let stats = run.graph.stats();
+            rec.record(&Event::Progress {
+                snapshot: ProgressSnapshot {
+                    states: stats.states as u64,
+                    transitions: stats.transitions as u64,
+                    elapsed_nanos: start.elapsed().as_nanos() as u64,
+                    frontier: Some(run.frontier.len() as u64),
+                    ..ProgressSnapshot::default()
+                },
+            });
+            RunReport {
+                schema_version: OBS_SCHEMA_VERSION,
+                engine: engine.to_string(),
+                threads,
+                mode: mode.to_string(),
+                states: stats.states,
+                transitions: stats.transitions,
+                depth: stats.depth,
+                deadlocks: stats.deadlocks,
+                outcome: run.outcome.to_string(),
+                complete: run.outcome.is_complete(),
+                duration_nanos: start.elapsed().as_nanos() as u64,
+            }
+        }
+        Err(e) => RunReport {
+            schema_version: OBS_SCHEMA_VERSION,
+            engine: engine.to_string(),
+            threads,
+            mode: mode.to_string(),
+            states: 0,
+            transitions: 0,
+            depth: 0,
+            deadlocks: 0,
+            outcome: format!("error: {e}"),
+            complete: false,
+            duration_nanos: start.elapsed().as_nanos() as u64,
+        },
+    };
+    rec.record(&Event::RunEnd { report: &report });
+    result
 }
 
 /// Explores the reachable states of a system breadth-first.
@@ -538,7 +625,7 @@ pub fn explore_parallel_governed(
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         })
         .max(1);
-    explore_parallel_impl(system, budget, options, threads)
+    explore_observed(system, budget, options, threads)
 }
 
 // ---------------------------------------------------------------------
@@ -587,26 +674,30 @@ fn explore_sequential_fp(
     let mut init: Vec<usize> = Vec::new();
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
-    for s in init_states {
-        let fp = s.fingerprint();
-        match map.entry(fp & mask) {
-            Entry::Occupied(_) => {}
-            Entry::Vacant(e) => {
-                if let Some(reason) = meter.charge_state() {
-                    exhausted = Some(reason);
-                    break;
+    {
+        let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
+        for s in init_states {
+            let fp = s.fingerprint();
+            match map.entry(fp & mask) {
+                Entry::Occupied(_) => {}
+                Entry::Vacant(e) => {
+                    if let Some(reason) = meter.charge_state() {
+                        exhausted = Some(reason);
+                        break;
+                    }
+                    let id = states.len();
+                    e.insert(id);
+                    states.push(s);
+                    fps.push(fp);
+                    edges.push(Vec::new());
+                    parents.push(None);
+                    init.push(id);
+                    queue.push_back(id);
                 }
-                let id = states.len();
-                e.insert(id);
-                states.push(s);
-                fps.push(fp);
-                edges.push(Vec::new());
-                parents.push(None);
-                init.push(id);
-                queue.push_back(id);
             }
         }
     }
+    let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
     'bfs: while exhausted.is_none() {
         if let Some(reason) = meter.checkpoint() {
             exhausted = Some(reason);
@@ -651,6 +742,7 @@ fn explore_sequential_fp(
             break 'bfs;
         }
     }
+    drop(expand_phase);
     let graph = StateGraph {
         states,
         visited: Visited::Fingerprint { map, mask },
@@ -692,23 +784,27 @@ fn explore_sequential_exact(
     let mut graph = StateGraph::new(options.mode, options.mask());
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
-    for s in init_states {
-        let (seen, fp) = graph.visited.lookup(&s);
-        if seen.is_some() {
-            continue;
+    {
+        let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
+        for s in init_states {
+            let (seen, fp) = graph.visited.lookup(&s);
+            if seen.is_some() {
+                continue;
+            }
+            if let Some(reason) = meter.charge_state() {
+                exhausted = Some(reason);
+                break;
+            }
+            let id = graph.states.len();
+            graph.visited.insert(&s, fp, id);
+            graph.states.push(s);
+            graph.edges.push(Vec::new());
+            graph.parents.push(None);
+            graph.init.push(id);
+            queue.push_back(id);
         }
-        if let Some(reason) = meter.charge_state() {
-            exhausted = Some(reason);
-            break;
-        }
-        let id = graph.states.len();
-        graph.visited.insert(&s, fp, id);
-        graph.states.push(s);
-        graph.edges.push(Vec::new());
-        graph.parents.push(None);
-        graph.init.push(id);
-        queue.push_back(id);
     }
+    let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
     'bfs: while exhausted.is_none() {
         if let Some(reason) = meter.checkpoint() {
             exhausted = Some(reason);
@@ -747,6 +843,7 @@ fn explore_sequential_exact(
             graph.edges[id].push(Edge { action, target });
         }
     }
+    drop(expand_phase);
     let outcome = match exhausted {
         None => Outcome::Complete,
         Some(reason) => Outcome::Exhausted {
@@ -829,6 +926,9 @@ struct WorkerOut {
     /// Parents whose expansion was cut short by budget exhaustion
     /// (requeued on the reported frontier).
     interrupted: Vec<Pid>,
+    /// Frontier entries this worker claimed (for per-worker
+    /// throughput reporting).
+    claimed: u64,
 }
 
 /// Shared coordination state of one parallel run.
@@ -953,14 +1053,17 @@ fn explore_parallel_impl(
     // Initial states: interned sequentially so their canonical order
     // is the enumeration order, exactly as in the sequential engine.
     let mut init_pids: Vec<Pid> = Vec::new();
-    for s in init_states {
-        let fp = s.fingerprint();
-        match shared.intern_with(fp, move || s) {
-            Ok((p, true)) => init_pids.push(p),
-            Ok((_, false)) => {}
-            Err(reason) => {
-                shared.note_exhaustion(reason);
-                break;
+    {
+        let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
+        for s in init_states {
+            let fp = s.fingerprint();
+            match shared.intern_with(fp, move || s) {
+                Ok((p, true)) => init_pids.push(p),
+                Ok((_, false)) => {}
+                Err(reason) => {
+                    shared.note_exhaustion(reason);
+                    break;
+                }
             }
         }
     }
@@ -972,6 +1075,9 @@ fn explore_parallel_impl(
     let mut all_edges: Vec<Vec<(Pid, u32, Pid)>> = Vec::new();
     // Discovered-but-unexpanded pids once the run stops early.
     let mut pending: Vec<Pid> = Vec::new();
+    let observe = meter.observed();
+    let mut level: u64 = 0;
+    let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
     while !frontier.is_empty() && !shared.stop.load(Ordering::Relaxed) {
         let cursor = AtomicUsize::new(0);
         let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
@@ -985,7 +1091,15 @@ fn explore_parallel_impl(
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
         let mut next: Vec<Pid> = Vec::new();
-        for out in outs {
+        for (worker, out) in outs.into_iter().enumerate() {
+            if observe {
+                budget.recorder.record(&Event::WorkerLevel {
+                    worker,
+                    level,
+                    claimed: out.claimed,
+                    inserted: out.next.len() as u64,
+                });
+            }
             if !out.edges.is_empty() {
                 all_edges.push(out.edges);
             }
@@ -996,7 +1110,12 @@ fn explore_parallel_impl(
         let claimed = cursor.load(Ordering::Relaxed).min(frontier.len());
         pending.extend(&frontier[claimed..]);
         frontier = next;
+        if observe {
+            meter.emit_progress(Some(frontier.len() as u64), Some(level), None);
+        }
+        level += 1;
     }
+    drop(expand_phase);
     if let Some(e) = shared.error.lock().unwrap().take() {
         return Err(e);
     }
@@ -1011,6 +1130,7 @@ fn explore_parallel_impl(
         .map(|m| m.into_inner().unwrap())
         .collect();
 
+    let renumber_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreRenumber);
     // ---- canonical renumbering --------------------------------------
     // Replay the BFS sequentially over the recorded edge runs.
     // Discovery order — init enumeration order, then children in
@@ -1129,6 +1249,7 @@ fn explore_parallel_impl(
         edges,
         parents,
     };
+    drop(renumber_phase);
 
     let reason = reason.into_inner().unwrap();
     let outcome = match reason {
@@ -1187,6 +1308,7 @@ fn run_worker(
         let Some(&parent) = frontier.get(i) else {
             break;
         };
+        out.claimed += 1;
         let (s, s_fp) = shared.state_of(parent);
         let result = compiled.for_each_successor(&s, &mut scratch, |action, assignments| {
             if let Some(reason) = shared.meter.charge_transition() {

@@ -45,10 +45,28 @@ fn bad_id(action_id: usize, system: &System) -> CheckError {
     }
 }
 
+/// Reports each injected fault action as *armed* to the process-wide
+/// recorder (`OPENTLA_OBS`), so a run report shows which adversarial
+/// behaviors were in play even before any of them fires on a trace.
+fn note_armed(extra: &[GuardedAction]) {
+    let rec = crate::obs::global();
+    if !rec.enabled() {
+        return;
+    }
+    for a in extra {
+        rec.record(&crate::obs::Event::FaultActivation {
+            action: a.name(),
+            step: 0,
+            kind: "armed",
+        });
+    }
+}
+
 /// Rebuilds `system` with `extra` actions appended (fairness
 /// constraints carry over: they refer to original action indices,
 /// which appending preserves).
 fn with_extra_actions(system: &System, extra: Vec<GuardedAction>) -> System {
+    note_armed(&extra);
     let mut actions = system.actions().to_vec();
     actions.extend(extra);
     let mut faulted = System::new(system.vars().clone(), system.init().clone(), actions);
@@ -313,6 +331,7 @@ pub fn hostile_env(
     }
 
     let armed = Expr::var(clock).eq(Expr::int(break_at));
+    let saboteurs_from = actions.len();
     for (i, assignment) in falsifying.iter().enumerate() {
         let updates: Vec<(VarId, Expr)> = support
             .iter()
@@ -325,6 +344,7 @@ pub fn hostile_env(
             updates,
         ));
     }
+    note_armed(&actions[saboteurs_from..]);
 
     let init = system.init().clone().merge(&Init::new([(clock, Value::Int(0))]));
     let mut faulted = System::new(vars, init, actions);

@@ -28,7 +28,11 @@
 //!   `*_governed` variant that stops gracefully when states,
 //!   transitions, wall-clock, or a cancellation flag run out, returning
 //!   partial results instead of an error, with [`escalate`] for
-//!   geometric-retry loops.
+//!   geometric-retry loops;
+//! * [`obs`] — the observability layer: structured run events, live
+//!   progress metrics, and exportable schema-versioned [`RunReport`]s
+//!   from every engine, routed by `OPENTLA_OBS=/path.jsonl` or an
+//!   explicit [`RecorderHandle`] on the [`Budget`].
 //!
 //! # Example
 //!
@@ -59,11 +63,16 @@ mod explore;
 pub mod faults;
 mod invariant;
 mod liveness;
+pub mod obs;
 mod sample;
 mod simulate;
 mod system;
 
 pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
+pub use obs::{
+    CountingRecorder, Event, JsonlRecorder, NullRecorder, Phase, ProgressSnapshot,
+    Recorder, RecorderHandle, RunReport,
+};
 pub use compiled::{CompiledExpr, CompiledSystem, EvalScratch};
 pub use counterexample::Counterexample;
 pub use error::CheckError;

@@ -313,6 +313,7 @@ pub fn check_liveness_governed(
     target: &LiveTarget,
     budget: &Budget,
 ) -> Result<LivenessRun, CheckError> {
+    let _phase = crate::obs::PhaseGuard::enter(&budget.recorder, crate::obs::Phase::Liveness);
     let mut meter = Meter::start(budget);
     let decided = (|| -> Result<Verdict, Stop> {
         let violation = build_violation(system, graph, target, &mut meter)?;
@@ -322,6 +323,9 @@ pub fn check_liveness_governed(
             None => Ok(Verdict::Holds),
         }
     })();
+    if let Ok(Verdict::Violated(cx)) = &decided {
+        crate::obs::emit_counterexample(&budget.recorder, "liveness", cx);
+    }
     match decided {
         Ok(verdict) => Ok(LivenessRun {
             verdict: Some(verdict),

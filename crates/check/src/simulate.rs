@@ -102,6 +102,8 @@ pub fn check_simulation_governed(
     mapping: &Substitution,
     budget: &Budget,
 ) -> Result<SimulationRun, CheckError> {
+    let _phase =
+        crate::obs::PhaseGuard::enter(&budget.recorder, crate::obs::Phase::Simulation);
     let mapped = mapping.formula(target)?;
     let Some(sc) = safety_canonical(&mapped) else {
         return Err(CheckError::NotCanonical {
@@ -118,13 +120,16 @@ pub fn check_simulation_governed(
             stats: graph.stats(),
         },
     };
-    let violated = |cx: Counterexample, edges: usize| SimulationRun {
-        report: Some(SimulationReport {
-            verdict: Verdict::Violated(cx),
-            states: graph.len(),
-            edges,
-        }),
-        outcome: Outcome::Complete,
+    let violated = |cx: Counterexample, edges: usize| {
+        crate::obs::emit_counterexample(&budget.recorder, "simulation", &cx);
+        SimulationRun {
+            report: Some(SimulationReport {
+                verdict: Verdict::Violated(cx),
+                states: graph.len(),
+                edges,
+            }),
+            outcome: Outcome::Complete,
+        }
     };
 
     // 1. Initial predicates.

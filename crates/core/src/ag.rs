@@ -333,6 +333,43 @@ pub fn check_ag_safety_diagnosed(
     env: &Formula,
     sys: &Formula,
 ) -> Result<AgReport, SpecError> {
+    let rec = opentla_check::obs::global();
+    let _phase =
+        opentla_check::obs::PhaseGuard::enter(&rec, opentla_check::obs::Phase::AgMonitor);
+    let report = ag_monitor(system, graph, env, sys)?;
+    if rec.enabled() {
+        rec.record(&opentla_check::Event::Check {
+            kind: "ag_safety",
+            name: "⊳-monitor",
+            holds: report.holds(),
+        });
+        if let Verdict::Violated(cx) = &report.verdict {
+            opentla_check::obs::emit_counterexample(&rec, "ag_safety", cx);
+        }
+        if let Some(brk) = &report.env_break {
+            if let Some(action) = brk.action.as_deref() {
+                if opentla_check::faults::is_fault_action(action) {
+                    rec.record(&opentla_check::Event::FaultActivation {
+                        action,
+                        step: brk.step as u64,
+                        kind: "fired",
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The `⊳` monitor proper (the BFS over `graph × {E intact, E broken}`),
+/// separated from [`check_ag_safety_diagnosed`] so observability events
+/// wrap every exit path uniformly.
+fn ag_monitor(
+    system: &System,
+    graph: &StateGraph,
+    env: &Formula,
+    sys: &Formula,
+) -> Result<AgReport, SpecError> {
     let env_sc = safety_canonical(env).ok_or(opentla_check::CheckError::NotCanonical {
         context: "check_ag_safety (assumption)",
     })?;

@@ -218,6 +218,9 @@ fn build_certificate(
     } else {
         options.budget.clone()
     };
+    let rec = budget.recorder.clone();
+    let _phase =
+        opentla_check::obs::PhaseGuard::enter(&rec, opentla_check::obs::Phase::Compose);
     let exploration = explore_governed(&product, &budget)?;
     let graph = &exploration.graph;
 
@@ -268,6 +271,7 @@ fn build_certificate(
                 outcome: exploration.outcome.clone(),
             },
         });
+        emit_obligations(&rec, &obligations);
         return Ok(Certificate {
             rule: rule.to_string(),
             conclusion: conclusion_override.unwrap_or_else(|| {
@@ -401,6 +405,7 @@ fn build_certificate(
 
     let conclusion =
         conclusion_override.unwrap_or_else(|| default_conclusion(problem));
+    emit_obligations(&rec, &obligations);
     Ok(Certificate {
         rule: rule.to_string(),
         conclusion,
@@ -408,6 +413,22 @@ fn build_certificate(
         product_states: graph.len(),
         product_edges: graph.edge_count(),
     })
+}
+
+/// Reports each obligation's status as a `check` event (`holds` is true
+/// only for proved obligations; failed *and* undecided read as false,
+/// matching [`Certificate::holds`]).
+fn emit_obligations(rec: &opentla_check::RecorderHandle, obligations: &[Obligation]) {
+    if !rec.enabled() {
+        return;
+    }
+    for ob in obligations {
+        rec.record(&opentla_check::Event::Check {
+            kind: "obligation",
+            name: &ob.id,
+            holds: matches!(ob.status, ObligationStatus::Proved { .. }),
+        });
+    }
 }
 
 /// The theorem's conclusion `⊨ G ∧ ∧(E_j ⊳ M_j) ⇒ (E ⊳ M)` in the

@@ -95,3 +95,11 @@ pub use props::{
 // dependency on the checker crate.
 pub use opentla_check::faults;
 pub use opentla_check::{escalate, Budget, ExhaustReason, Governed, Outcome};
+
+// Observability layer: structured run events, live progress metrics,
+// and exportable run reports, routed by `OPENTLA_OBS=/path.jsonl` or
+// an explicit recorder on the [`Budget`].
+pub use opentla_check::obs;
+pub use opentla_check::{
+    CountingRecorder, JsonlRecorder, NullRecorder, Recorder, RecorderHandle, RunReport,
+};

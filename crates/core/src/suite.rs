@@ -29,6 +29,20 @@ pub enum CheckKind {
     Recorded,
 }
 
+impl CheckKind {
+    /// The kind's wire name in observability `check` events
+    /// (snake_case, unlike [`Display`](fmt::Display)'s prose form).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            CheckKind::Invariant => "invariant",
+            CheckKind::StepInvariant => "step_invariant",
+            CheckKind::Liveness => "liveness",
+            CheckKind::Certificate => "certificate",
+            CheckKind::Recorded => "recorded",
+        }
+    }
+}
+
 impl fmt::Display for CheckKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -118,6 +132,25 @@ impl Suite {
         self.entries.iter().filter(|e| !e.holds)
     }
 
+    /// Records an entry, mirroring it to the process-wide observability
+    /// recorder (`OPENTLA_OBS`) as a `check` event under the `suite`
+    /// phase — every way of adding an entry funnels through here.
+    fn push(&mut self, entry: SuiteEntry) {
+        let rec = opentla_check::obs::global();
+        if rec.enabled() {
+            let _phase = opentla_check::obs::PhaseGuard::enter(
+                &rec,
+                opentla_check::obs::Phase::Suite,
+            );
+            rec.record(&opentla_check::Event::Check {
+                kind: entry.kind.wire_name(),
+                name: &entry.name,
+                holds: entry.holds,
+            });
+        }
+        self.entries.push(entry);
+    }
+
     /// Runs and records a state-invariant check; returns whether it
     /// held.
     ///
@@ -133,7 +166,7 @@ impl Suite {
     ) -> Result<bool, SpecError> {
         let verdict = check_invariant(system, graph, pred)?;
         let holds = verdict.holds();
-        self.entries.push(SuiteEntry {
+        self.push(SuiteEntry {
             name: name.into(),
             kind: CheckKind::Invariant,
             holds,
@@ -159,7 +192,7 @@ impl Suite {
     ) -> Result<bool, SpecError> {
         let verdict = check_step_invariant(system, graph, action, sub)?;
         let holds = verdict.holds();
-        self.entries.push(SuiteEntry {
+        self.push(SuiteEntry {
             name: name.into(),
             kind: CheckKind::StepInvariant,
             holds,
@@ -186,7 +219,7 @@ impl Suite {
     ) -> Result<bool, SpecError> {
         let verdict = check_liveness(system, graph, target)?;
         let holds = verdict.holds();
-        self.entries.push(SuiteEntry {
+        self.push(SuiteEntry {
             name: name.into(),
             kind: CheckKind::Liveness,
             holds,
@@ -220,7 +253,7 @@ impl Suite {
         match run.verdict {
             Some(verdict) => {
                 let holds = verdict.holds();
-                self.entries.push(SuiteEntry {
+                self.push(SuiteEntry {
                     name: name.into(),
                     kind: CheckKind::Liveness,
                     holds,
@@ -232,7 +265,7 @@ impl Suite {
                 Ok(Some(holds))
             }
             None => {
-                self.entries.push(SuiteEntry {
+                self.push(SuiteEntry {
                     name: name.into(),
                     kind: CheckKind::Liveness,
                     holds: false,
@@ -246,7 +279,7 @@ impl Suite {
     /// Records a composition/refinement certificate.
     pub fn certificate(&mut self, name: impl Into<String>, cert: &Certificate) -> bool {
         let holds = cert.holds();
-        self.entries.push(SuiteEntry {
+        self.push(SuiteEntry {
             name: name.into(),
             kind: CheckKind::Certificate,
             holds,
@@ -257,7 +290,7 @@ impl Suite {
 
     /// Records an externally computed fact.
     pub fn record(&mut self, name: impl Into<String>, holds: bool, detail: impl Into<String>) {
-        self.entries.push(SuiteEntry {
+        self.push(SuiteEntry {
             name: name.into(),
             kind: CheckKind::Recorded,
             holds,

@@ -11,6 +11,13 @@ fn main() {
     let k = 3;
     let w = AlternatingBit::new(k);
 
+    // Every engine below runs under `Budget::default()`, which routes
+    // through the process-wide recorder: with OPENTLA_OBS set, the
+    // whole demo streams run reports to that JSONL file.
+    if let Ok(path) = std::env::var(opentla_check::obs::OBS_ENV) {
+        println!("observability: streaming run events to {path}\n");
+    }
+
     println!("=== Alternating-bit protocol, {k} messages ===\n");
     let cert = w.prove(&CompositionOptions::default()).expect("well-posed");
     println!("{}", cert.display(w.vars()));

@@ -9,6 +9,14 @@ use opentla_check::ExploreOptions;
 use opentla_queue::{handshake_trace, DoubleQueue, FairnessStyle, QueueChain};
 
 fn main() {
+    // The refinement/composition engines below run under
+    // `Budget::default()`, which routes through the process-wide
+    // recorder: with OPENTLA_OBS set, the whole proof streams phase
+    // timings, obligation checks, and run reports to that JSONL file.
+    if let Ok(path) = std::env::var(opentla_check::obs::OBS_ENV) {
+        println!("observability: streaming run events to {path}\n");
+    }
+
     println!("=== Figure 2: the two-phase handshake protocol ===\n");
     println!("  step           ack sig val");
     for row in handshake_trace(&[37, 4, 19]) {

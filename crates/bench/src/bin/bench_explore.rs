@@ -21,6 +21,14 @@
 //! and transition counts (the fingerprint/parallel engines are exact
 //! reformulations, not approximations, on these state-space sizes).
 //!
+//! A fourth run per scenario, `seq_red`, explores under the scenario's
+//! [`Reduction`] (ample-set partial-order reduction over the scenario
+//! invariant's variables, plus symmetry canonicalization on the
+//! mutex/ring models). It records `states_full / states_reduced` as
+//! the per-model `reduction_factor`, asserts the scenario invariant's
+//! verdict matches the full graph's, and — in full mode — gates that
+//! at least one of ring/mutex/chain4 shrinks by ≥ 2×.
+//!
 //! Two observability artifacts ride along (PR 3):
 //!
 //! * an **overhead gate** — the current engine with a [`NullRecorder`]
@@ -39,10 +47,11 @@
 use fxhash::FxHashMap;
 use opentla_bench::ms;
 use opentla_check::{
-    explore_governed_with, explore_parallel, obs, Budget, CheckError, CompiledSystem,
-    EvalScratch, ExploreOptions, JsonlRecorder, Meter, RecorderHandle, StateGraph,
-    System, VisitedMode,
+    check_invariant, explore_governed_with, explore_parallel, obs, Budget, CheckError,
+    CompiledSystem, EvalScratch, ExploreOptions, JsonlRecorder, Meter, RecorderHandle,
+    Reduction, StateGraph, System, VisitedMode,
 };
+use opentla_kernel::Expr;
 use opentla_kernel::State;
 use opentla_queue::{FairnessStyle, QueueChain};
 use opentla_scenarios::{AlternatingBit, ArbiterFairness, Mutex, TokenRing};
@@ -174,48 +183,97 @@ fn explore_null(
     run.graph
 }
 
+/// The shipping engine under a [`Reduction`], null recorder, one
+/// worker — the reduced counterpart `seq_red` is timed against.
+fn explore_reduced(
+    system: &System,
+    options: &ExploreOptions,
+    reduction: &Reduction,
+) -> opentla_check::Exploration {
+    let budget = Budget::default()
+        .states(options.max_states)
+        .with_recorder(RecorderHandle::null());
+    let opts = ExploreOptions {
+        threads: Some(1),
+        reduction: reduction.clone(),
+        ..options.clone()
+    };
+    let run = explore_governed_with(system, &budget, &opts).expect("reduced explores");
+    assert!(run.outcome.is_complete(), "scenario exceeds the state budget");
+    run
+}
+
 struct Scenario {
     name: &'static str,
     system: System,
     /// The acceptance scenario: the largest queue chain, where the
     /// parallel fingerprinted engine must clear 2× the seed throughput.
     is_acceptance: bool,
+    /// The reduction this scenario is benchmarked under, with a short
+    /// description for the JSON, and the invariant whose verdict must
+    /// agree between the full and reduced graphs.
+    reduction: Reduction,
+    reduction_desc: &'static str,
+    invariant: Expr,
 }
 
 fn scenarios(smoke: bool) -> Vec<Scenario> {
     let mut out = Vec::new();
-    let abp = if smoke { 2 } else { 4 };
+    let abp = AlternatingBit::new(if smoke { 2 } else { 4 });
+    let inv = abp.in_order_invariant();
     out.push(Scenario {
         name: "abp",
-        system: AlternatingBit::new(abp).complete_system().expect("abp builds"),
+        system: abp.complete_system().expect("abp builds"),
         is_acceptance: false,
+        reduction: Reduction::none().with_por(inv.unprimed_vars()),
+        reduction_desc: "por(in_order vars)",
+        invariant: inv,
     });
+    let mutex = Mutex::with_clients(if smoke { 2 } else { 3 }, ArbiterFairness::Weak);
+    let inv = mutex.mutual_exclusion();
     out.push(Scenario {
         name: "mutex",
-        system: Mutex::with_clients(if smoke { 2 } else { 3 }, ArbiterFairness::Weak)
-            .product()
-            .expect("mutex builds"),
+        reduction: Reduction::none()
+            .with_por(inv.unprimed_vars())
+            .with_symmetry(Arc::new(mutex.client_symmetry())),
+        reduction_desc: "por(mutual_exclusion vars) + client-permutation symmetry",
+        system: mutex.product().expect("mutex builds"),
         is_acceptance: false,
+        invariant: inv,
     });
+    let ring = TokenRing::new(if smoke { 3 } else { 4 });
+    let inv = ring.mutual_exclusion();
     out.push(Scenario {
         name: "ring",
-        system: TokenRing::new(if smoke { 3 } else { 4 })
-            .complete_system()
-            .expect("ring builds"),
+        reduction: Reduction::none()
+            .with_por(inv.unprimed_vars())
+            .with_symmetry(Arc::new(ring.rotation_symmetry())),
+        reduction_desc: "por(mutual_exclusion vars) + rotation symmetry",
+        system: ring.complete_system().expect("ring builds"),
         is_acceptance: false,
+        invariant: inv,
     });
     let max_chain = if smoke { 3 } else { 4 };
     for k in 2..=max_chain {
+        let system = QueueChain::new(k, 1, 2, FairnessStyle::Joint)
+            .complete_system()
+            .expect("chain builds");
+        // The chains have no scenario invariant of their own here; a
+        // domain bound on the first wire keeps the verdict comparison
+        // meaningful while leaving POR free to prune internal moves.
+        let v0 = system.vars().iter().next().expect("chain has variables");
+        let invariant = Expr::var(v0).le(Expr::int(1));
         out.push(Scenario {
             name: match k {
                 2 => "chain2",
                 3 => "chain3",
                 _ => "chain4",
             },
-            system: QueueChain::new(k, 1, 2, FairnessStyle::Joint)
-                .complete_system()
-                .expect("chain builds"),
             is_acceptance: k == max_chain && !smoke,
+            reduction: Reduction::none().with_por(invariant.unprimed_vars()),
+            reduction_desc: "por(first-wire observable)",
+            system,
+            invariant,
         });
     }
     out
@@ -271,12 +329,13 @@ fn main() {
         "# bench_explore ({} mode, {iters} iteration(s), {threads} thread(s))\n",
         if smoke { "smoke" } else { "full" }
     );
-    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | seq_fp× | par_fp× | null-ovh |");
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | seq_red | seq_fp× | par_fp× | red× | null-ovh |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
 
     let mut rows = Vec::new();
     let mut acceptance: Option<(String, f64)> = None;
     let mut overhead: Option<(String, f64)> = None;
+    let mut best_reduction: Option<(&'static str, f64)> = None;
     let all = scenarios(smoke);
     // The overhead gate runs on the largest chain of the active set
     // (chain4 full, chain3 smoke) — the scenario big enough for the
@@ -302,6 +361,9 @@ fn main() {
         let (par_t, par_graph) = time_best(iters, || {
             explore_parallel(&sc.system, &par_options).expect("par_fp explores")
         });
+        let (red_t, red_run) = time_best(iters, || {
+            explore_reduced(&sc.system, &options, &sc.reduction)
+        });
         let (states, transitions) = seed_counts;
         assert_eq!(
             plain_counts,
@@ -321,12 +383,38 @@ fn main() {
             "{}: par_fp disagrees with seed",
             sc.name
         );
+        // Reduction soundness, cross-checked where it is cheapest to
+        // see: the reduced graph answers the scenario invariant the
+        // same way the full graph does.
+        let states_reduced = red_run.graph.len();
+        assert!(
+            states_reduced <= states,
+            "{}: reduction grew the state space",
+            sc.name
+        );
+        let full_verdict = check_invariant(&sc.system, &seq_graph, &sc.invariant)
+            .expect("full invariant check")
+            .holds();
+        let red_verdict = check_invariant(&sc.system, &red_run.graph, &sc.invariant)
+            .expect("reduced invariant check")
+            .holds();
+        assert_eq!(
+            full_verdict, red_verdict,
+            "{}: reduction flipped the invariant verdict",
+            sc.name
+        );
+        let red_factor = states as f64 / states_reduced.max(1) as f64;
+        let red_stats = red_run.reduction.expect("reduced run reports stats");
 
         let run = |d: Duration| EngineRun {
             seconds: d.as_secs_f64(),
             states_per_sec: states as f64 / d.as_secs_f64().max(1e-9),
         };
         let (seed, plain, seq, par) = (run(seed_t), run(plain_t), run(seq_t), run(par_t));
+        let red = EngineRun {
+            seconds: red_t.as_secs_f64(),
+            states_per_sec: states_reduced as f64 / red_t.as_secs_f64().max(1e-9),
+        };
         let seq_x = seq.states_per_sec / seed.states_per_sec;
         let par_x = par.states_per_sec / seed.states_per_sec;
         // Disabled-recorder overhead: how much throughput the shipping
@@ -334,7 +422,7 @@ fn main() {
         // means it measured faster).
         let null_ovh = 1.0 - seq.states_per_sec / plain.states_per_sec;
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:+.1}% |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:+.1}% |",
             sc.name,
             states,
             transitions,
@@ -342,8 +430,10 @@ fn main() {
             ms(plain_t),
             ms(seq_t),
             ms(par_t),
+            ms(red_t),
             seq_x,
             par_x,
+            red_factor,
             null_ovh * 100.0,
         );
         if sc.is_acceptance {
@@ -352,8 +442,13 @@ fn main() {
         if sc.name == gate_name {
             overhead = Some((sc.name.to_string(), null_ovh));
         }
+        if matches!(sc.name, "ring" | "mutex" | "chain4")
+            && best_reduction.is_none_or(|(_, f)| red_factor > f)
+        {
+            best_reduction = Some((sc.name, red_factor));
+        }
         rows.push(format!(
-            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"acceptance\": {}\n    }}",
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"acceptance\": {},\n      \"reduction\": {{\n        \"config\": \"{}\",\n        \"states_full\": {},\n        \"states_reduced\": {},\n        \"reduction_factor\": {:.2},\n        \"seq_red\": {},\n        \"ample_states\": {},\n        \"full_states\": {},\n        \"skipped_transitions\": {},\n        \"canon_hits\": {},\n        \"verdict_matches_full\": true\n      }}\n    }}",
             sc.name,
             states,
             transitions,
@@ -365,6 +460,15 @@ fn main() {
             par_x,
             null_ovh,
             sc.is_acceptance,
+            sc.reduction_desc,
+            states,
+            states_reduced,
+            red_factor,
+            engine_json(&red),
+            red_stats.ample_states,
+            red_stats.full_states,
+            red_stats.skipped_transitions,
+            red_stats.canon_hits,
         ));
     }
 
@@ -380,7 +484,7 @@ fn main() {
 
     let (overhead_name, null_ovh) = overhead.expect("the gate scenario always runs");
     let json = format!(
-        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\",\n    \"seq_red\": \"sequential engine under the scenario's Reduction (ample-set POR and/or symmetry), NullRecorder\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
 
@@ -394,6 +498,20 @@ fn main() {
             par_x >= 2.0,
             "acceptance regression: par_fp only {par_x:.2}× seed on {name} (need ≥ 2×)"
         );
+    }
+    // Reduction acceptance: at least one of ring/mutex/chain4 must
+    // shrink ≥ 2× under its reduction. Full mode only — the smoke set
+    // runs mutex at 2 clients, where the 2-element symmetry group
+    // cannot reach the bar by construction.
+    if let Some((name, factor)) = best_reduction {
+        println!("reduction ({name}): {factor:.2}× fewer states than full exploration");
+        if !smoke {
+            assert!(
+                factor >= 2.0,
+                "reduction regression: best factor on ring/mutex/chain4 is only \
+                 {factor:.2}× ({name}, need ≥ 2×)"
+            );
+        }
     }
     println!(
         "overhead gate ({overhead_name}): NullRecorder engine gives up {:.1}% \

@@ -21,12 +21,13 @@
 use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
 use crate::compiled::{CompiledSystem, EvalScratch};
 use crate::obs::{Event, Phase, PhaseGuard, ProgressSnapshot, RunReport, OBS_SCHEMA_VERSION};
+use crate::reduction::{AmpleScratch, Canonicalize, PreparedReduction, Reduction, ReductionStats};
 use crate::{CheckError, System};
 use fxhash::FxHashMap;
 use opentla_kernel::State;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How the explorer remembers which states it has already seen.
 ///
@@ -75,6 +76,13 @@ pub struct ExploreOptions {
     /// [`VisitedMode::Exact`] fallback; production runs should leave
     /// this at 64.
     pub fp_bits: u32,
+    /// State-space reduction (ample-set partial-order and/or symmetry
+    /// reduction; see [`Reduction`]). Defaults to [`Reduction::none`]:
+    /// the engines then take exactly their unreduced code paths and
+    /// produce bit-for-bit the same graphs as before the reduction
+    /// subsystem existed. Reduced graphs answer state-invariant
+    /// queries only — liveness and step-invariant checks refuse them.
+    pub reduction: Reduction,
 }
 
 impl Default for ExploreOptions {
@@ -84,6 +92,7 @@ impl Default for ExploreOptions {
             mode: VisitedMode::Fingerprint,
             threads: None,
             fp_bits: 64,
+            reduction: Reduction::none(),
         }
     }
 }
@@ -209,6 +218,13 @@ pub struct StateGraph {
     init: Vec<usize>,
     edges: Vec<Vec<Edge>>,
     parents: Vec<Option<(usize, usize)>>,
+    /// Whether any reduction pruned this graph (see
+    /// [`StateGraph::is_reduced`]).
+    reduced: bool,
+    /// The symmetry canonicalizer the exploration ran under, if any —
+    /// kept so lookups and counterexample concretization can map
+    /// through orbits.
+    canon: Option<Arc<dyn Canonicalize>>,
 }
 
 impl StateGraph {
@@ -219,6 +235,8 @@ impl StateGraph {
             init: Vec::new(),
             edges: Vec::new(),
             parents: Vec::new(),
+            reduced: false,
+            canon: None,
         }
     }
 
@@ -256,14 +274,40 @@ impl StateGraph {
     /// In fingerprint mode the candidate found by fingerprint is
     /// verified against the arena, so this never misattributes an
     /// index: a state displaced by a fingerprint collision (not
-    /// recorded) answers `None`.
+    /// recorded) answers `None`. On a symmetry-reduced graph the state
+    /// is canonicalized first, so any member of a recorded orbit finds
+    /// its representative.
     pub fn index_of(&self, s: &State) -> Option<usize> {
+        let canonical;
+        let s = match &self.canon {
+            Some(c) => {
+                canonical = c.canonicalize(s);
+                &canonical
+            }
+            None => s,
+        };
         let (candidate, _) = self.visited.lookup(s);
         let id = candidate?;
         match &self.visited {
             Visited::Exact(_) => Some(id),
             Visited::Fingerprint { .. } => (&self.states[id] == s).then_some(id),
         }
+    }
+
+    /// Whether this graph was built under an active [`Reduction`]. A
+    /// reduced graph soundly answers *state-invariant* reachability
+    /// (for properties respecting the reduction's observability and
+    /// symmetry obligations), but omits interleavings — so
+    /// [`crate::check_liveness`] and [`crate::check_step_invariant`]
+    /// refuse it and require a full exploration instead (the ignoring
+    /// problem; see [`crate::Reduction`]).
+    pub fn is_reduced(&self) -> bool {
+        self.reduced
+    }
+
+    /// The symmetry canonicalizer this graph was explored under.
+    pub(crate) fn canonicalizer(&self) -> Option<&dyn Canonicalize> {
+        self.canon.as_deref()
     }
 
     /// Indices of the initial states.
@@ -396,6 +440,9 @@ pub struct Exploration {
     /// queue order; multi-worker parallel runs in ascending index
     /// order.
     pub frontier: Vec<usize>,
+    /// What the reduction pruned, when one was active (`None` on
+    /// unreduced runs).
+    pub reduction: Option<ReductionStats>,
 }
 
 impl std::ops::Deref for Exploration {
@@ -452,17 +499,20 @@ pub fn explore_governed_with(
     explore_observed(system, budget, options, threads)
 }
 
-/// Routes to the engine picked by `threads`.
+/// Routes to the engine picked by `threads`, preparing the reduction
+/// tables once (a no-op `None` when reduction is off, so the default
+/// path is exactly the pre-reduction code).
 fn explore_dispatch(
     system: &System,
     budget: &Budget,
     options: &ExploreOptions,
     threads: usize,
 ) -> Result<Exploration, CheckError> {
+    let prepared = options.reduction.prepare(system);
     if threads > 1 {
-        explore_parallel_impl(system, budget, options, threads)
+        explore_parallel_impl(system, budget, options, threads, prepared.as_ref())
     } else {
-        explore_sequential(system, budget, options)
+        explore_sequential(system, budget, options, prepared.as_ref())
     }
 }
 
@@ -501,6 +551,14 @@ fn explore_observed(
     let report = match &result {
         Ok(run) => {
             let stats = run.graph.stats();
+            if let Some(red) = &run.reduction {
+                rec.record(&Event::Reduction {
+                    ample_states: red.ample_states as u64,
+                    full_states: red.full_states as u64,
+                    skipped_transitions: red.skipped_transitions as u64,
+                    canon_hits: red.canon_hits as u64,
+                });
+            }
             rec.record(&Event::Progress {
                 snapshot: ProgressSnapshot {
                     states: stats.states as u64,
@@ -636,7 +694,11 @@ fn explore_sequential(
     system: &System,
     budget: &Budget,
     options: &ExploreOptions,
+    prepared: Option<&PreparedReduction>,
 ) -> Result<Exploration, CheckError> {
+    if let Some(red) = prepared {
+        return explore_sequential_reduced(system, budget, options, red);
+    }
     match options.mode {
         VisitedMode::Fingerprint => explore_sequential_fp(system, budget, options),
         VisitedMode::Exact => explore_sequential_exact(system, budget, options),
@@ -749,6 +811,8 @@ fn explore_sequential_fp(
         init,
         edges,
         parents,
+        reduced: false,
+        canon: None,
     };
     let outcome = match exhausted {
         None => Outcome::Complete,
@@ -762,6 +826,7 @@ fn explore_sequential_fp(
         frontier: queue.into_iter().collect(),
         graph,
         outcome,
+        reduction: None,
     })
 }
 
@@ -856,6 +921,173 @@ fn explore_sequential_exact(
         frontier: queue.into_iter().collect(),
         graph,
         outcome,
+        reduction: None,
+    })
+}
+
+/// The reduced sequential engine: level-synchronous BFS (explicit
+/// level boundaries feed the cycle proviso) over canonicalized states,
+/// expanding each state through its chosen ample cluster — or fully
+/// when no eligible proper cluster exists or the proviso fires.
+///
+/// Used for both [`VisitedMode`]s: symmetry reduction must
+/// canonicalize the materialized successor anyway, so the incremental
+/// fingerprint shortcut of the unreduced fast path does not apply.
+/// Discovery order is plain BFS over kept actions in action order —
+/// exactly the order the parallel engine's renumbering pass replays,
+/// so both engines produce byte-identical reduced graphs.
+fn explore_sequential_reduced(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+    red: &PreparedReduction,
+) -> Result<Exploration, CheckError> {
+    use std::ops::ControlFlow;
+
+    let init_states = system.init().states(system.universe())?;
+    if init_states.is_empty() {
+        return Err(CheckError::NoInitialStates);
+    }
+    let compiled = CompiledSystem::compile(system);
+    let mut scratch = EvalScratch::new();
+    let meter = Meter::start(budget);
+    let mut graph = StateGraph::new(options.mode, options.mask());
+    graph.reduced = true;
+    graph.canon = red.canon.clone();
+    let mut stats = ReductionStats::default();
+    let mut queue = std::collections::VecDeque::new();
+    let mut exhausted: Option<ExhaustReason> = None;
+    {
+        let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
+        for s in init_states {
+            let s = red.canonical(s);
+            let (seen, fp) = graph.visited.lookup(&s);
+            if seen.is_some() {
+                continue;
+            }
+            if let Some(reason) = meter.charge_state() {
+                exhausted = Some(reason);
+                break;
+            }
+            let id = graph.states.len();
+            graph.visited.insert(&s, fp, id);
+            graph.states.push(s);
+            graph.edges.push(Vec::new());
+            graph.parents.push(None);
+            graph.init.push(id);
+            queue.push_back(id);
+        }
+    }
+    // Cycle-proviso bookkeeping: states with id < `boundary` belong to
+    // BFS levels completed before the current one began. Every cycle
+    // of the reduced graph must contain an edge into such a level, so
+    // fully expanding each state whose ample set would record one
+    // guarantees no enabled action is ignored forever.
+    let mut boundary = graph.states.len();
+    let mut remaining = queue.len();
+    let mut succ: Vec<(usize, State)> = Vec::new();
+    let mut ample_scratch = AmpleScratch::default();
+    let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
+    'bfs: while exhausted.is_none() {
+        if let Some(reason) = meter.checkpoint() {
+            exhausted = Some(reason);
+            break;
+        }
+        let Some(id) = queue.pop_front() else {
+            break;
+        };
+        let parent = graph.states[id].clone();
+        succ.clear();
+        compiled.for_each_successor(&parent, &mut scratch, |action, assignments| {
+            let child = parent.with(assignments);
+            let child = match &red.canon {
+                Some(c) => {
+                    let canonical = c.canonicalize(&child);
+                    if canonical != child {
+                        stats.canon_hits += 1;
+                    }
+                    canonical
+                }
+                None => child,
+            };
+            succ.push((action, child));
+            ControlFlow::<std::convert::Infallible>::Continue(())
+        })?;
+        let keep_cluster = red.por.as_ref().and_then(|por| {
+            let chosen =
+                por.choose_ample(succ.iter().map(|(a, _)| *a), &mut ample_scratch)?;
+            // The proviso: an ample successor already in a completed
+            // level closes a potential cycle — expand fully. Only
+            // completed levels are consulted, so the parallel engine
+            // (which sees racy partial knowledge of the *current*
+            // level) decides identically.
+            let closes_level = succ.iter().any(|(a, child)| {
+                por.cluster_of(*a) == chosen
+                    && graph
+                        .visited
+                        .lookup(child)
+                        .0
+                        .is_some_and(|t| t < boundary)
+            });
+            (!closes_level).then_some(chosen)
+        });
+        if keep_cluster.is_some() {
+            stats.ample_states += 1;
+        } else {
+            stats.full_states += 1;
+        }
+        for (action, child) in succ.drain(..) {
+            if let Some(c) = keep_cluster {
+                if red.por.as_ref().map(|p| p.cluster_of(action)) != Some(c) {
+                    stats.skipped_transitions += 1;
+                    continue;
+                }
+            }
+            if let Some(reason) = meter.charge_transition() {
+                queue.push_front(id);
+                exhausted = Some(reason);
+                break 'bfs;
+            }
+            let (seen, fp) = graph.visited.lookup(&child);
+            let target = match seen {
+                Some(existing) => existing,
+                None => {
+                    if let Some(reason) = meter.charge_state() {
+                        queue.push_front(id);
+                        exhausted = Some(reason);
+                        break 'bfs;
+                    }
+                    let nid = graph.states.len();
+                    graph.visited.insert(&child, fp, nid);
+                    graph.states.push(child);
+                    graph.edges.push(Vec::new());
+                    graph.parents.push(Some((id, action)));
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            graph.edges[id].push(Edge { action, target });
+        }
+        remaining -= 1;
+        if remaining == 0 {
+            boundary = graph.states.len();
+            remaining = queue.len();
+        }
+    }
+    drop(expand_phase);
+    let outcome = match exhausted {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Exhausted {
+            reason,
+            frontier_size: queue.len(),
+            stats: graph.stats(),
+        },
+    };
+    Ok(Exploration {
+        frontier: queue.into_iter().collect(),
+        graph,
+        outcome,
+        reduction: Some(stats),
     })
 }
 
@@ -929,6 +1161,9 @@ struct WorkerOut {
     /// Frontier entries this worker claimed (for per-worker
     /// throughput reporting).
     claimed: u64,
+    /// Reduction counters for the parents this worker expanded
+    /// (all-zero when reduction is off).
+    stats: ReductionStats,
 }
 
 /// Shared coordination state of one parallel run.
@@ -1014,6 +1249,23 @@ impl ParShared<'_> {
             }
         }
     }
+
+    /// Whether `s` was interned before the current level began — the
+    /// parallel form of the sequential `id < boundary` cycle-proviso
+    /// test. `bounds` holds every shard's arena length snapshotted at
+    /// level start, so the answer is frozen for the whole level and
+    /// independent of insertions racing within it: both engines decide
+    /// the proviso on the identical set of states.
+    fn in_completed_level(&self, s: &State, bounds: &[usize]) -> bool {
+        let key = s.fingerprint() & self.mask;
+        let shard_i = (key as usize) & (NUM_SHARDS - 1);
+        let shard = self.shards[shard_i].lock().unwrap();
+        let local = match &shard.keys {
+            ShardKeys::Fingerprint(map) => map.get(&key).copied(),
+            ShardKeys::Exact(map) => map.get(s).copied(),
+        };
+        local.is_some_and(|l| (l as usize) < bounds[shard_i])
+    }
 }
 
 /// Level-synchronous parallel BFS: scoped workers drain the current
@@ -1027,13 +1279,14 @@ fn explore_parallel_impl(
     budget: &Budget,
     options: &ExploreOptions,
     threads: usize,
+    prepared: Option<&PreparedReduction>,
 ) -> Result<Exploration, CheckError> {
     if threads <= 1 {
         // With a single worker, level-synchronous BFS degenerates to
         // plain sequential BFS — same discovery order, same graph — so
         // the sharding and renumbering machinery would be pure
         // overhead. Delegate.
-        return explore_sequential(system, budget, options);
+        return explore_sequential(system, budget, options, prepared);
     }
     let init_states = system.init().states(system.universe())?;
     if init_states.is_empty() {
@@ -1056,6 +1309,10 @@ fn explore_parallel_impl(
     {
         let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
         for s in init_states {
+            let s = match prepared {
+                Some(r) => r.canonical(s),
+                None => s,
+            };
             let fp = s.fingerprint();
             match shared.intern_with(fp, move || s) {
                 Ok((p, true)) => init_pids.push(p),
@@ -1077,14 +1334,35 @@ fn explore_parallel_impl(
     let mut pending: Vec<Pid> = Vec::new();
     let observe = meter.observed();
     let mut level: u64 = 0;
+    let mut total_stats = ReductionStats::default();
     let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
     while !frontier.is_empty() && !shared.stop.load(Ordering::Relaxed) {
         let cursor = AtomicUsize::new(0);
+        // With POR on, snapshot each shard's arena length before the
+        // level runs: the cycle proviso asks "was this successor
+        // interned before the current level began?", and the snapshot
+        // freezes that answer for the whole level.
+        let bounds: Option<Vec<usize>> =
+            prepared.filter(|r| r.por.is_some()).map(|_| {
+                shared
+                    .shards
+                    .iter()
+                    .map(|m| m.lock().unwrap().arena.len())
+                    .collect()
+            });
         let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    scope.spawn(|| {
-                        run_worker(&shared, &compiled, &frontier, &cursor)
+                    scope.spawn(|| match prepared {
+                        Some(red) => run_worker_reduced(
+                            &shared,
+                            &compiled,
+                            &frontier,
+                            &cursor,
+                            red,
+                            bounds.as_deref(),
+                        ),
+                        None => run_worker(&shared, &compiled, &frontier, &cursor),
                     })
                 })
                 .collect();
@@ -1100,6 +1378,7 @@ fn explore_parallel_impl(
                     inserted: out.next.len() as u64,
                 });
             }
+            total_stats.absorb(&out.stats);
             if !out.edges.is_empty() {
                 all_edges.push(out.edges);
             }
@@ -1248,6 +1527,8 @@ fn explore_parallel_impl(
         init,
         edges,
         parents,
+        reduced: prepared.is_some(),
+        canon: prepared.and_then(|r| r.canon.clone()),
     };
     drop(renumber_phase);
 
@@ -1274,6 +1555,7 @@ fn explore_parallel_impl(
         graph,
         outcome,
         frontier,
+        reduction: prepared.map(|_| total_stats),
     })
 }
 
@@ -1338,6 +1620,106 @@ fn run_worker(
             Err(e) => {
                 shared.note_error(e);
                 break;
+            }
+        }
+    }
+    out
+}
+
+/// The reduced worker: like [`run_worker`], but every successor is
+/// materialized and canonicalized before interning (so the incremental
+/// fingerprint shortcut does not apply), and — when partial-order
+/// reduction is on — each parent expands only its chosen ample cluster
+/// unless the cycle proviso forces full expansion. Successors are
+/// buffered per parent because the ample choice needs the full enabled
+/// set before any edge is committed.
+fn run_worker_reduced(
+    shared: &ParShared<'_>,
+    compiled: &CompiledSystem<'_>,
+    frontier: &[Pid],
+    cursor: &AtomicUsize,
+    red: &PreparedReduction,
+    bounds: Option<&[usize]>,
+) -> WorkerOut {
+    use std::ops::ControlFlow;
+
+    let mut out = WorkerOut::default();
+    let mut scratch = EvalScratch::new();
+    let mut succ: Vec<(usize, State)> = Vec::new();
+    let mut ample_scratch = AmpleScratch::default();
+    'level: loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(reason) = shared.meter.checkpoint() {
+            shared.note_exhaustion(reason);
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&parent) = frontier.get(i) else {
+            break;
+        };
+        out.claimed += 1;
+        let (s, _) = shared.state_of(parent);
+        succ.clear();
+        let result = compiled.for_each_successor(&s, &mut scratch, |action, assignments| {
+            let child = s.with(assignments);
+            let child = match &red.canon {
+                Some(c) => {
+                    let canonical = c.canonicalize(&child);
+                    if canonical != child {
+                        out.stats.canon_hits += 1;
+                    }
+                    canonical
+                }
+                None => child,
+            };
+            succ.push((action, child));
+            ControlFlow::<std::convert::Infallible>::Continue(())
+        });
+        if let Err(e) = result {
+            shared.note_error(e);
+            break;
+        }
+        let keep_cluster = red.por.as_ref().and_then(|por| {
+            let chosen =
+                por.choose_ample(succ.iter().map(|(a, _)| *a), &mut ample_scratch)?;
+            let bounds = bounds.expect("bounds snapshot exists whenever POR is on");
+            let closes_level = succ.iter().any(|(a, child)| {
+                por.cluster_of(*a) == chosen && shared.in_completed_level(child, bounds)
+            });
+            (!closes_level).then_some(chosen)
+        });
+        if keep_cluster.is_some() {
+            out.stats.ample_states += 1;
+        } else {
+            out.stats.full_states += 1;
+        }
+        for (action, child) in succ.drain(..) {
+            if let Some(c) = keep_cluster {
+                if red.por.as_ref().map(|p| p.cluster_of(action)) != Some(c) {
+                    out.stats.skipped_transitions += 1;
+                    continue;
+                }
+            }
+            if let Some(reason) = shared.meter.charge_transition() {
+                shared.note_exhaustion(reason);
+                out.interrupted.push(parent);
+                break 'level;
+            }
+            let child_fp = child.fingerprint();
+            match shared.intern_with(child_fp, move || child) {
+                Ok((cp, is_new)) => {
+                    if is_new {
+                        out.next.push(cp);
+                    }
+                    out.edges.push((parent, action as u32, cp));
+                }
+                Err(reason) => {
+                    shared.note_exhaustion(reason);
+                    out.interrupted.push(parent);
+                    break 'level;
+                }
             }
         }
     }

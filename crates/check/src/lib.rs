@@ -64,6 +64,7 @@ pub mod faults;
 mod invariant;
 mod liveness;
 pub mod obs;
+mod reduction;
 mod sample;
 mod simulate;
 mod system;
@@ -82,6 +83,9 @@ pub use explore::{
     VisitedMode,
 };
 pub use invariant::{check_invariant, check_step_invariant};
+pub use reduction::{
+    Canonicalize, PorConfig, Reduction, ReductionStats, SlotPermutations,
+};
 pub use liveness::{check_liveness, check_liveness_governed, LiveTarget, LivenessRun};
 pub use sample::sample_behavior;
 pub use simulate::{

@@ -313,6 +313,20 @@ pub fn check_liveness_governed(
     target: &LiveTarget,
     budget: &Budget,
 ) -> Result<LivenessRun, CheckError> {
+    // Liveness on a reduced graph hits the *ignoring problem*: an ample
+    // set may defer an action forever along a cycle, and symmetry edges
+    // connect canonical representatives rather than genuine step
+    // endpoints — fair-cycle detection over such a graph is unsound in
+    // both directions. We refuse rather than fight it: re-explore with
+    // `Reduction::none()` for liveness.
+    if graph.is_reduced() {
+        return Err(CheckError::Precondition {
+            message: "liveness checking needs the full state graph; this graph \
+                      was explored under a Reduction (re-explore with \
+                      Reduction::none())"
+                .to_string(),
+        });
+    }
     let _phase = crate::obs::PhaseGuard::enter(&budget.recorder, crate::obs::Phase::Liveness);
     let mut meter = Meter::start(budget);
     let decided = (|| -> Result<Verdict, Stop> {

@@ -272,6 +272,20 @@ pub enum Event<'a> {
         /// Whether it passed.
         holds: bool,
     },
+    /// Reduction counters of one exploration run (emitted once, before
+    /// the run's final progress event, only when a
+    /// [`Reduction`](crate::Reduction) was active).
+    Reduction {
+        /// States expanded through a proper ample set.
+        ample_states: u64,
+        /// States expanded fully (no eligible proper cluster, or the
+        /// cycle proviso fired).
+        full_states: u64,
+        /// Enabled transitions pruned by the ample sets.
+        skipped_transitions: u64,
+        /// Generated successors changed by symmetry canonicalization.
+        canon_hits: u64,
+    },
     /// The engine run ended; carries the full report.
     RunEnd {
         /// The final report.
@@ -291,6 +305,7 @@ impl Event<'_> {
             Event::FaultActivation { .. } => "fault_activation",
             Event::Counterexample { .. } => "counterexample",
             Event::Check { .. } => "check",
+            Event::Reduction { .. } => "reduction",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -351,6 +366,13 @@ pub struct CountingRecorder {
     faults: AtomicU64,
     counterexamples: AtomicU64,
     checks: AtomicU64,
+    reductions: AtomicU64,
+    /// Ample/full/skipped/canon totals of the most recent reduction
+    /// event.
+    red_ample_states: AtomicU64,
+    red_full_states: AtomicU64,
+    red_skipped_transitions: AtomicU64,
+    red_canon_hits: AtomicU64,
     /// Totals of the most recent run report.
     states: AtomicU64,
     transitions: AtomicU64,
@@ -380,6 +402,11 @@ impl CountingRecorder {
             faults: AtomicU64::new(0),
             counterexamples: AtomicU64::new(0),
             checks: AtomicU64::new(0),
+            reductions: AtomicU64::new(0),
+            red_ample_states: AtomicU64::new(0),
+            red_full_states: AtomicU64::new(0),
+            red_skipped_transitions: AtomicU64::new(0),
+            red_canon_hits: AtomicU64::new(0),
             states: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
             depth: AtomicU64::new(0),
@@ -432,6 +459,23 @@ impl CountingRecorder {
         self.checks.load(Ordering::Relaxed)
     }
 
+    /// Reduction events recorded.
+    pub fn reductions(&self) -> u64 {
+        self.reductions.load(Ordering::Relaxed)
+    }
+
+    /// `(ample_states, full_states, skipped_transitions, canon_hits)`
+    /// of the most recent reduction event (all zero if none was
+    /// recorded).
+    pub fn reduction_totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.red_ample_states.load(Ordering::Relaxed),
+            self.red_full_states.load(Ordering::Relaxed),
+            self.red_skipped_transitions.load(Ordering::Relaxed),
+            self.red_canon_hits.load(Ordering::Relaxed),
+        )
+    }
+
     /// Unique states of the last completed run.
     pub fn states(&self) -> u64 {
         self.states.load(Ordering::Relaxed)
@@ -481,6 +525,19 @@ impl Recorder for CountingRecorder {
             }
             Event::Check { .. } => {
                 self.checks.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Reduction {
+                ample_states,
+                full_states,
+                skipped_transitions,
+                canon_hits,
+            } => {
+                self.reductions.fetch_add(1, Ordering::Relaxed);
+                self.red_ample_states.store(*ample_states, Ordering::Relaxed);
+                self.red_full_states.store(*full_states, Ordering::Relaxed);
+                self.red_skipped_transitions
+                    .store(*skipped_transitions, Ordering::Relaxed);
+                self.red_canon_hits.store(*canon_hits, Ordering::Relaxed);
             }
             Event::PhaseEnter { phase } => {
                 self.phase_entered[phase.index()]
@@ -658,6 +715,18 @@ impl Recorder for JsonlRecorder {
                     ",\"kind\":{},\"name\":{},\"holds\":{holds}",
                     json_str(kind),
                     json_str(name)
+                ));
+            }
+            Event::Reduction {
+                ample_states,
+                full_states,
+                skipped_transitions,
+                canon_hits,
+            } => {
+                body.push_str(&format!(
+                    ",\"ample_states\":{ample_states},\"full_states\":{full_states},\
+                     \"skipped_transitions\":{skipped_transitions},\
+                     \"canon_hits\":{canon_hits}"
                 ));
             }
             Event::RunEnd { report } => {
@@ -1280,6 +1349,12 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 obj.get("holds")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| format!("line {line}: check missing holds"))?;
+            }
+            "reduction" => {
+                req_u64(&obj, "ample_states", line)?;
+                req_u64(&obj, "full_states", line)?;
+                req_u64(&obj, "skipped_transitions", line)?;
+                req_u64(&obj, "canon_hits", line)?;
             }
             other => return Err(format!("line {line}: unknown event kind \"{other}\"")),
         }

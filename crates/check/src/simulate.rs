@@ -104,6 +104,17 @@ pub fn check_simulation_governed(
 ) -> Result<SimulationRun, CheckError> {
     let _phase =
         crate::obs::PhaseGuard::enter(&budget.recorder, crate::obs::Phase::Simulation);
+    // Step-box obligations are per-edge: a reduced graph omits edges
+    // (POR) or replaces their endpoints by canonical representatives
+    // (symmetry), so simulation cannot be decided on one.
+    if graph.is_reduced() {
+        return Err(CheckError::Precondition {
+            message: "simulation checking needs the full state graph; this \
+                      graph was explored under a Reduction (re-explore with \
+                      Reduction::none())"
+                .to_string(),
+        });
+    }
     let mapped = mapping.formula(target)?;
     let Some(sc) = safety_canonical(&mapped) else {
         return Err(CheckError::NotCanonical {

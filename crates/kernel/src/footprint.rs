@@ -1,0 +1,141 @@
+//! Read/write variable footprints of guarded commands.
+//!
+//! A guarded command `guard → (v₁ := e₁, …, vₙ := eₙ)` **reads** the
+//! unprimed variables of its guard and update right-hand sides, and
+//! **writes** its update targets. Two commands whose footprints do not
+//! conflict commute and cannot enable or disable one another — the
+//! syntactic independence that licenses ample-set partial-order
+//! reduction over the paper's canonical interleaving form: a
+//! component's next-state relation only touches variables it owns
+//! (`N ⇒ e′ = e` for everything else), so commands of different
+//! components are independent exactly when their footprints are
+//! disjoint in the sense of [`Footprint::independent`].
+
+use crate::expr::Expr;
+use crate::var::{VarId, VarSet};
+
+/// The variables a guarded command reads and writes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    reads: VarSet,
+    writes: VarSet,
+}
+
+impl Footprint {
+    /// The empty footprint (reads nothing, writes nothing).
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// The footprint of a guarded command: `reads` collects the
+    /// unprimed variables of the guard and of every update right-hand
+    /// side; `writes` collects the update targets.
+    ///
+    /// Guards and update expressions of a well-formed command are
+    /// state functions (no primed variables), so unprimed variables
+    /// are the whole read set.
+    pub fn of_command<'a>(
+        guard: &Expr,
+        updates: impl IntoIterator<Item = (VarId, &'a Expr)>,
+    ) -> Footprint {
+        let mut reads = guard.unprimed_vars();
+        let mut writes = VarSet::new();
+        for (target, rhs) in updates {
+            writes.insert(target);
+            reads.union_with(&rhs.unprimed_vars());
+        }
+        Footprint { reads, writes }
+    }
+
+    /// The variables read (guard plus update right-hand sides).
+    pub fn reads(&self) -> &VarSet {
+        &self.reads
+    }
+
+    /// The variables written (update targets).
+    pub fn writes(&self) -> &VarSet {
+        &self.writes
+    }
+
+    /// Whether this command writes any variable of `vars` — the
+    /// *visibility* test of partial-order reduction: a command writing
+    /// an observable variable may change a property's truth value and
+    /// must never be deferred by a proper ample set.
+    pub fn writes_any(&self, vars: &VarSet) -> bool {
+        !self.writes.is_disjoint(vars)
+    }
+
+    /// Whether two commands are (syntactically) independent: neither
+    /// writes a variable the other reads or writes. Independent
+    /// commands commute — executing them in either order reaches the
+    /// same state — and neither can enable or disable the other, since
+    /// enabledness depends only on read variables.
+    pub fn independent(&self, other: &Footprint) -> bool {
+        self.writes.is_disjoint(&other.reads)
+            && self.writes.is_disjoint(&other.writes)
+            && other.writes.is_disjoint(&self.reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::{Domain, Vars};
+
+    fn three_vars() -> (Vars, VarId, VarId, VarId) {
+        let mut vars = Vars::new();
+        let x = vars.declare("x", Domain::int_range(0, 3));
+        let y = vars.declare("y", Domain::int_range(0, 3));
+        let z = vars.declare("z", Domain::int_range(0, 3));
+        (vars, x, y, z)
+    }
+
+    #[test]
+    fn collects_reads_and_writes() {
+        let (_vars, x, y, z) = three_vars();
+        let guard = Expr::var(x).lt(Expr::int(3));
+        let rhs = Expr::var(y).add(Expr::int(1));
+        let fp = Footprint::of_command(&guard, [(z, &rhs)]);
+        assert!(fp.reads().contains(x));
+        assert!(fp.reads().contains(y));
+        assert!(!fp.reads().contains(z));
+        assert!(fp.writes().contains(z));
+        assert_eq!(fp.writes().len(), 1);
+    }
+
+    #[test]
+    fn independence_is_footprint_disjointness() {
+        let (_vars, x, y, z) = three_vars();
+        let inc_x = Footprint::of_command(
+            &Expr::var(x).lt(Expr::int(3)),
+            [(x, &Expr::var(x).add(Expr::int(1)))],
+        );
+        let inc_y = Footprint::of_command(
+            &Expr::var(y).lt(Expr::int(3)),
+            [(y, &Expr::var(y).add(Expr::int(1)))],
+        );
+        // Disjoint variables: independent both ways.
+        assert!(inc_x.independent(&inc_y));
+        assert!(inc_y.independent(&inc_x));
+        // Writing a variable the other reads: dependent.
+        let copy_x_to_z =
+            Footprint::of_command(&Expr::bool(true), [(z, &Expr::var(x))]);
+        assert!(!inc_x.independent(&copy_x_to_z));
+        // Reading without writing never conflicts with a pure reader.
+        let watch_x = Footprint::of_command(&Expr::var(x).eq(Expr::int(0)), []);
+        assert!(watch_x.independent(&copy_x_to_z));
+    }
+
+    #[test]
+    fn visibility_is_a_write_test() {
+        let (_vars, x, y, _z) = three_vars();
+        let fp = Footprint::of_command(
+            &Expr::var(y).lt(Expr::int(3)),
+            [(x, &Expr::var(y))],
+        );
+        let observe_x: VarSet = [x].into_iter().collect();
+        let observe_y: VarSet = [y].into_iter().collect();
+        assert!(fp.writes_any(&observe_x));
+        assert!(!fp.writes_any(&observe_y), "reads are not visible writes");
+    }
+}

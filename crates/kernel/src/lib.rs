@@ -46,6 +46,7 @@
 mod action;
 mod error;
 mod expr;
+mod footprint;
 mod formula;
 mod state;
 mod subst;
@@ -55,6 +56,7 @@ mod var;
 pub use action::{box_action, enabled_vars, unchanged};
 pub use error::{EvalError, KernelError};
 pub use expr::{expect_bool, BinOp, Expr, ExprDisplay, UnOp};
+pub use footprint::Footprint;
 pub use formula::FormulaDisplay;
 pub use state::StateDisplay;
 pub use formula::{Fairness, FairnessKind, Formula};

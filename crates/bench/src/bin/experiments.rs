@@ -462,7 +462,7 @@ fn adversarial() {
     let t = Instant::now();
     let run = opentla_check::explore_governed(&lossy, &Budget::default().states(3)).unwrap();
     let partial = match &run.outcome {
-        Outcome::Exhausted { reason, frontier_size, stats } => {
+        Outcome::Exhausted { reason, frontier_size, stats, .. } => {
             format!("{reason}; {} frontier, {} states seen", frontier_size, stats.states)
         }
         Outcome::Complete => "complete".to_string(),

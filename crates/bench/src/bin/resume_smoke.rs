@@ -1,0 +1,138 @@
+//! Kill-and-resume smoke check — the CI step proving crash tolerance
+//! end to end on the acceptance scenario:
+//!
+//! 1. explore chain4 under a tight state budget with checkpointing on
+//!    → the run must exhaust, leaving a resume token and a snapshot
+//!    file (`CKPT_chain4.snap` at the repository root);
+//! 2. resume from that snapshot with the budget lifted → the run must
+//!    complete and land exactly on the golden pre-reduction totals
+//!    (54 358 states / 164 736 transitions / depth 55);
+//! 3. the resumed graph must be byte-identical to an uninterrupted
+//!    run's — states, initial states, edges, everything;
+//! 4. the same round trip with the 4-thread parallel engine (the
+//!    snapshot does not pin the thread count);
+//! 5. all four runs stream into `OBS_resume.jsonl` through a
+//!    [`JsonlRecorder`], and the stream must validate against the
+//!    observability schema.
+//!
+//! The snapshot files and the JSONL stream are left on disk for CI to
+//! upload as artifacts.
+
+use opentla_check::{
+    explore_governed_with, explore_resumable, obs, Budget, ExploreOptions,
+    JsonlRecorder, RecorderHandle, StateGraph,
+};
+use opentla_queue::{FairnessStyle, QueueChain};
+use std::sync::Arc;
+
+const GOLDEN: (usize, usize, usize) = (54_358, 164_736, 55);
+
+/// Byte-for-byte graph equality: statistics, state arena order,
+/// initial states, and edges.
+fn assert_identical(label: &str, a: &StateGraph, b: &StateGraph) {
+    assert_eq!(a.stats(), b.stats(), "{label}: stats differ");
+    assert_eq!(a.states(), b.states(), "{label}: state order differs");
+    assert_eq!(a.init(), b.init(), "{label}: initial states differ");
+    for id in 0..a.len() {
+        assert_eq!(a.edges(id), b.edges(id), "{label}: edges of {id} differ");
+    }
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let obs_path = format!("{root}/OBS_resume.jsonl");
+    let recorder =
+        Arc::new(JsonlRecorder::create(&obs_path).expect("create OBS_resume.jsonl"));
+    let handle = RecorderHandle::new(recorder.clone());
+
+    let system = QueueChain::new(4, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .expect("chain4 builds");
+    let reference = {
+        let run = explore_governed_with(
+            &system,
+            &Budget::unlimited(),
+            &ExploreOptions::default(),
+        )
+        .expect("reference run explores");
+        assert!(run.outcome.is_complete());
+        run.graph
+    };
+
+    for (label, threads, snap_name) in [
+        ("sequential", 1usize, "CKPT_chain4.snap"),
+        ("parallel(4)", 4, "CKPT_chain4_par.snap"),
+    ] {
+        let snap_path = format!("{root}/{snap_name}");
+        let _ = std::fs::remove_file(&snap_path);
+        let opts = ExploreOptions {
+            threads: Some(threads),
+            ..ExploreOptions::default()
+        };
+
+        // The "kill": a budget far below the state space, with
+        // periodic checkpointing tight enough to fire mid-run.
+        let tight = Budget::default()
+            .states(20_000)
+            .with_checkpoint(&snap_path, 8_192)
+            .with_recorder(handle.clone());
+        let interrupted =
+            explore_resumable(&system, &tight, &opts).expect("tight run explores");
+        let token = interrupted
+            .outcome
+            .resume_token()
+            .expect("tight budget must exhaust with a resume token")
+            .clone();
+        assert!(
+            std::path::Path::new(&snap_path).exists(),
+            "{label}: snapshot file must be written"
+        );
+        println!(
+            "{label}: exhausted at {} states — snapshot {snap_name} (seq {})",
+            interrupted.graph.len(),
+            token.seq
+        );
+
+        // The recovery: same call, budget lifted.
+        let resumed = explore_resumable(
+            &system,
+            &Budget::unlimited()
+                .with_checkpoint(&snap_path, 8_192)
+                .with_recorder(handle.clone()),
+            &opts,
+        )
+        .expect("resumed run explores");
+        assert!(resumed.outcome.is_complete(), "{label}: resumed run must complete");
+        let stats = resumed.graph.stats();
+        assert_eq!(
+            (stats.states, stats.transitions, stats.depth),
+            GOLDEN,
+            "{label}: golden chain4 totals regressed across the resume"
+        );
+        assert_identical(label, &reference, &resumed.graph);
+        println!(
+            "{label}: resumed to completion — {} states / {} transitions / depth {}",
+            stats.states, stats.transitions, stats.depth
+        );
+    }
+
+    recorder.flush();
+    let text = std::fs::read_to_string(&obs_path).expect("read back OBS_resume.jsonl");
+    let summary = obs::validate_stream(&text).unwrap_or_else(|e| {
+        panic!("OBS_resume.jsonl fails schema validation: {e}");
+    });
+    assert_eq!(
+        summary.runs.len(),
+        4,
+        "two interrupted + two resumed runs must be reported"
+    );
+    let complete: Vec<_> = summary.runs.iter().filter(|r| r.complete).collect();
+    assert_eq!(complete.len(), 2, "exactly the two resumed runs complete");
+    assert!(
+        complete
+            .iter()
+            .all(|r| r.states == GOLDEN.0 as u64 && r.transitions == GOLDEN.1 as u64),
+        "resumed run reports must carry the golden totals"
+    );
+    println!("wrote {obs_path} (schema-valid, {} runs)", summary.runs.len());
+}

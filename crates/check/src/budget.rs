@@ -12,6 +12,7 @@
 //! still unexplored, and summary statistics. The [`escalate`] helper
 //! turns that into a retry loop with geometrically growing budgets.
 
+use crate::checkpoint::{CheckpointSpec, ResumeToken};
 use crate::obs::{self, Event, ProgressSnapshot, RecorderHandle};
 use crate::GraphStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -51,6 +52,12 @@ pub struct Budget {
     /// `OPENTLA_OBS=/path.jsonl` is set — so observability rides along
     /// wherever a budget already travels.
     pub recorder: RecorderHandle,
+    /// Crash tolerance: when set, exploration engines periodically
+    /// write a resumable snapshot of the run to
+    /// [`CheckpointSpec::path`] (and a final one on exhaustion), and
+    /// [`Outcome::Exhausted`] carries a [`ResumeToken`] pointing at it.
+    /// `None` (the default) disables checkpointing entirely.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for Budget {
@@ -61,6 +68,7 @@ impl Default for Budget {
             deadline: None,
             cancel: Arc::new(AtomicBool::new(false)),
             recorder: obs::global(),
+            checkpoint: None,
         }
     }
 }
@@ -98,6 +106,29 @@ impl Budget {
         self
     }
 
+    /// Enables periodic checkpointing: exploration engines running
+    /// under this budget snapshot their resumable core to `path` every
+    /// `cadence` state expansions (and once more at exhaustion), so an
+    /// interrupted run can continue from where it stopped instead of
+    /// restarting — TLC's `-checkpoint`/`-recover` discipline. Pass
+    /// [`DEFAULT_CHECKPOINT_CADENCE`](crate::DEFAULT_CHECKPOINT_CADENCE)
+    /// unless you have a reason not to;
+    /// a `cadence` of 0 is treated as 1.
+    ///
+    /// The write is atomic (temp file + rename) and checksummed; see
+    /// [`crate::Snapshot`]. Resume with [`crate::explore_resumable`].
+    pub fn with_checkpoint(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+        cadence: u64,
+    ) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            path: path.into(),
+            cadence: cadence.max(1),
+        });
+        self
+    }
+
     /// A handle to the cancellation flag, for handing to another
     /// thread (e.g. a ctrl-C handler).
     pub fn cancel_handle(&self) -> Arc<AtomicBool> {
@@ -129,6 +160,10 @@ impl Budget {
             deadline: self.deadline.map(|d| d.saturating_mul(factor)),
             cancel: Arc::clone(&self.cancel),
             recorder: self.recorder.clone(),
+            // The checkpoint path is shared across escalations: each
+            // retry overwrites the same snapshot, so the latest one
+            // always reflects the furthest frontier reached.
+            checkpoint: self.checkpoint.clone(),
         }
     }
 }
@@ -189,6 +224,12 @@ pub enum Outcome {
         /// Statistics of the partial graph at the moment of
         /// exhaustion.
         stats: GraphStats,
+        /// Where the run's final snapshot was written, when the budget
+        /// carried a [`Budget::with_checkpoint`] spec and the engine
+        /// supports resumption — hand it (or just the same budget) to
+        /// [`crate::explore_resumable`] to continue from the preserved
+        /// frontier instead of restarting.
+        resume: Option<ResumeToken>,
     },
 }
 
@@ -206,6 +247,14 @@ impl Outcome {
             Outcome::Exhausted { reason, .. } => Some(reason),
         }
     }
+
+    /// The resume token, if the exhausted run left a snapshot behind.
+    pub fn resume_token(&self) -> Option<&ResumeToken> {
+        match self {
+            Outcome::Complete => None,
+            Outcome::Exhausted { resume, .. } => resume.as_ref(),
+        }
+    }
 }
 
 impl std::fmt::Display for Outcome {
@@ -216,11 +265,18 @@ impl std::fmt::Display for Outcome {
                 reason,
                 frontier_size,
                 stats,
-            } => write!(
-                f,
-                "exhausted ({reason}); partial coverage: {stats}; \
-                 {frontier_size} frontier item(s) unexplored"
-            ),
+                resume,
+            } => {
+                write!(
+                    f,
+                    "exhausted ({reason}); partial coverage: {stats}; \
+                     {frontier_size} frontier item(s) unexplored"
+                )?;
+                if let Some(token) = resume {
+                    write!(f, "; resumable from {}", token.path.display())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -263,6 +319,19 @@ impl Meter {
             observe: budget.recorder.enabled(),
             ticks: AtomicU64::new(0),
         }
+    }
+
+    /// Starts metering a *resumed* run: the counters are pre-charged
+    /// with the work already banked in the snapshot, so a `max_states`
+    /// budget still bounds the run's cumulative total across
+    /// interruptions, not just the new attempt. The deadline clock —
+    /// deliberately — restarts: a wall-clock allowance budgets an
+    /// attempt, not the lifetime of a checkpoint file.
+    pub fn start_resumed(budget: &Budget, states: usize, transitions: usize) -> Self {
+        let meter = Meter::start(budget);
+        meter.states.store(states, Ordering::Relaxed);
+        meter.transitions.store(transitions, Ordering::Relaxed);
+        meter
     }
 
     /// Charges `counter` by one if it is still under `limit`.

@@ -1,0 +1,813 @@
+//! Crash-tolerant checkpointing: resumable on-disk snapshots of a run.
+//!
+//! Long explicit-state runs — exactly what the Composition Theorem's
+//! complete-system obligations produce — must survive interruption:
+//! a crash at hour three is otherwise a total loss. Following TLC's
+//! `-checkpoint`/`-recover` discipline, exploration engines running
+//! under a [`Budget`](crate::Budget) with
+//! [`Budget::with_checkpoint`](crate::Budget::with_checkpoint)
+//! periodically serialize their resumable core — the state arena, the
+//! recorded edges and BFS tree, the unexpanded frontier, and the
+//! reduction statistics — to a [`Snapshot`], and
+//! [`explore_resumable`](crate::explore_resumable) continues from the
+//! preserved frontier instead of restarting.
+//!
+//! # Format and integrity
+//!
+//! The snapshot is a zero-dependency binary file:
+//!
+//! ```text
+//! magic    8 bytes  b"OTLASNAP"
+//! body     version (u32 LE) + header + payload
+//! checksum 8 bytes  FNV-1a over the body
+//! ```
+//!
+//! The header pins everything that decides *whether the snapshot may
+//! be trusted for a resume*: the system's structural hash, the
+//! fingerprint width (`fp_bits` — a snapshot taken under forced
+//! collisions must not silently resume a full-width run), the
+//! [`VisitedMode`], and whether a reduction was active. [`Snapshot::load`]
+//! verifies magic, version, and checksum; [`Snapshot::validate`]
+//! refuses any mismatch with a typed [`CheckpointError`] — never a
+//! panic, and never a silent wrong-configuration resume.
+//!
+//! Writes are atomic (temp file in the same directory, then rename),
+//! so a crash mid-write leaves the previous snapshot intact.
+//!
+//! # Why resuming preserves soundness
+//!
+//! A snapshot stores no visited set: on load the dedup structures are
+//! rebuilt by re-fingerprinting the arena ([`State::fingerprint`] is
+//! deterministic across processes), under the *same* `fp_bits` the
+//! original run used — so the resumed run conflates exactly the states
+//! the original would have, keeping the under-approximation argument
+//! of [`VisitedMode::Fingerprint`] intact. Frontier states' partial
+//! edge lists are cleared at capture and those states fully re-expand
+//! on resume; a final renumbering pass then replays canonical BFS
+//! discovery order, which is why a resumed run's graph is
+//! byte-identical to an uninterrupted one.
+
+use crate::explore::Edge;
+use crate::obs::{Event, RecorderHandle};
+use crate::reduction::ReductionStats;
+use crate::{ExploreOptions, System, VisitedMode};
+use opentla_kernel::codec::{self, Reader};
+use opentla_kernel::State;
+use std::hash::Hasher;
+use std::path::{Path, PathBuf};
+
+/// Default checkpoint cadence, in state expansions between snapshot
+/// writes. At typical sequential throughput this is a snapshot every
+/// few hundred milliseconds of exploration — frequent enough that an
+/// interrupted run loses little, rare enough that the write cost
+/// stays well under the 5 % overhead gate.
+pub const DEFAULT_CHECKPOINT_CADENCE: u64 = 65_536;
+
+/// Snapshot wire-format version accepted by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"OTLASNAP";
+
+/// Where and how often a budgeted run checkpoints; see
+/// [`Budget::with_checkpoint`](crate::Budget::with_checkpoint).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Snapshot file path (overwritten atomically on each write).
+    pub path: PathBuf,
+    /// State expansions between periodic snapshots (≥ 1).
+    pub cadence: u64,
+}
+
+/// Proof that an exhausted run left a resumable snapshot behind;
+/// carried by [`Outcome::Exhausted`](crate::Outcome::Exhausted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeToken {
+    /// The snapshot file the run wrote last.
+    pub path: PathBuf,
+    /// Sequence number of that snapshot (strictly increasing within a
+    /// run, so observers can tell periodic writes apart).
+    pub seq: u64,
+}
+
+/// Why a snapshot could not be written, read, or trusted.
+///
+/// `Clone` because [`CheckError`](crate::CheckError) is `Clone`; I/O
+/// errors are therefore carried as rendered strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a
+    /// snapshot at all.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The body's checksum does not match: the file was truncated or
+    /// corrupted after writing.
+    ChecksumMismatch,
+    /// The body failed structural decoding despite a valid checksum
+    /// (or a length/bounds invariant failed).
+    Corrupt {
+        /// What failed.
+        detail: String,
+    },
+    /// The snapshot is valid but was taken under a different system or
+    /// configuration than the resume requests — resuming would be
+    /// unsound, so it is refused.
+    Mismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// The value recorded in the snapshot.
+        snapshot: String,
+        /// The value the resume requested.
+        requested: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "snapshot I/O failed at {}: {message}", path.display())
+            }
+            CheckpointError::BadMagic => {
+                write!(f, "not a snapshot file (bad magic)")
+            }
+            CheckpointError::UnsupportedVersion { found } => write!(
+                f,
+                "snapshot format version {found} is not supported \
+                 (this build reads version {SNAPSHOT_VERSION})"
+            ),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "snapshot checksum mismatch (truncated or corrupted)")
+            }
+            CheckpointError::Corrupt { detail } => {
+                write!(f, "snapshot is corrupt: {detail}")
+            }
+            CheckpointError::Mismatch {
+                field,
+                snapshot,
+                requested,
+            } => write!(
+                f,
+                "snapshot was taken under a different {field} \
+                 (snapshot: {snapshot}, requested: {requested}); \
+                 refusing to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// FNV-1a over `bytes` — a zero-dependency integrity check (this
+/// guards against truncation and bit rot, not adversaries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A structural hash of a [`System`] — variable names and action
+/// names, in order — pinned into every snapshot so a resume against a
+/// *different* system is refused instead of silently producing
+/// garbage. Deliberately coarse: it fingerprints the system's shape,
+/// not its semantics.
+pub(crate) fn system_hash(system: &System) -> u64 {
+    let mut h = fxhash::FxHasher::default();
+    let vars = system.vars();
+    h.write_usize(vars.len());
+    for v in vars.iter() {
+        h.write(vars.name(v).as_bytes());
+        h.write_u8(0xff);
+    }
+    h.write_usize(system.actions().len());
+    for a in system.actions() {
+        h.write(a.name().as_bytes());
+        h.write_u8(0xfe);
+    }
+    h.finish()
+}
+
+/// A run's resumable core, as captured at a consistent cut of the
+/// exploration: every non-frontier state is fully expanded (its edge
+/// list is complete and in action order), every frontier state is
+/// entirely unexpanded (its edge list is empty), and every arena
+/// state is reachable from the initial states via recorded edges or
+/// sits on the frontier. Resuming therefore only ever *re-does* the
+/// expansion of frontier states — O(new work), not O(total).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Fingerprint width the run used (see
+    /// [`ExploreOptions::fp_bits`]).
+    pub fp_bits: u32,
+    /// Visited-set representation the run used.
+    pub mode: VisitedMode,
+    /// Whether a reduction was active.
+    pub reduced: bool,
+    /// Structural hash of the explored system.
+    pub system_hash: u64,
+    /// Sequence number of this snapshot within its run.
+    pub seq: u64,
+    pub(crate) states: Vec<State>,
+    pub(crate) init: Vec<usize>,
+    pub(crate) edges: Vec<Vec<Edge>>,
+    pub(crate) parents: Vec<Option<(usize, usize)>>,
+    pub(crate) frontier: Vec<usize>,
+    pub(crate) reduction: Option<ReductionStats>,
+}
+
+impl Snapshot {
+    /// States banked in the snapshot (what the resumed meter is
+    /// pre-charged with).
+    pub fn states_used(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Fully-committed transitions banked in the snapshot.
+    pub fn transitions_used(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Number of discovered-but-unexpanded states awaiting resume.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Refuses to resume under a different system or configuration:
+    /// the structural hash, fingerprint width, visited mode, and
+    /// reduction activity must all match what the snapshot was taken
+    /// under.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] naming the first disagreeing
+    /// field.
+    pub fn validate(
+        &self,
+        system: &System,
+        options: &ExploreOptions,
+    ) -> Result<(), CheckpointError> {
+        let mismatch = |field, snapshot: String, requested: String| {
+            Err(CheckpointError::Mismatch {
+                field,
+                snapshot,
+                requested,
+            })
+        };
+        let requested_hash = system_hash(system);
+        if self.system_hash != requested_hash {
+            return mismatch(
+                "system",
+                format!("{:#018x}", self.system_hash),
+                format!("{requested_hash:#018x}"),
+            );
+        }
+        if self.fp_bits != options.fp_bits.clamp(1, 64) {
+            return mismatch(
+                "fingerprint width (fp_bits)",
+                self.fp_bits.to_string(),
+                options.fp_bits.clamp(1, 64).to_string(),
+            );
+        }
+        if self.mode != options.mode {
+            return mismatch(
+                "visited mode",
+                format!("{:?}", self.mode),
+                format!("{:?}", options.mode),
+            );
+        }
+        if self.reduced != options.reduction.is_active() {
+            return mismatch(
+                "reduction activity",
+                self.reduced.to_string(),
+                options.reduction.is_active().to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot body (everything between magic and
+    /// checksum).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fp_bits.to_le_bytes());
+        out.push(match self.mode {
+            VisitedMode::Fingerprint => 0,
+            VisitedMode::Exact => 1,
+        });
+        out.push(u8::from(self.reduced));
+        out.extend_from_slice(&self.system_hash.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
+        for s in &self.states {
+            codec::encode_state(s, &mut out);
+        }
+        let push_ids = |out: &mut Vec<u8>, ids: &[usize]| {
+            out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for &i in ids {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+            }
+        };
+        push_ids(&mut out, &self.init);
+        for es in &self.edges {
+            out.extend_from_slice(&(es.len() as u32).to_le_bytes());
+            for e in es {
+                out.extend_from_slice(&(e.action as u32).to_le_bytes());
+                out.extend_from_slice(&(e.target as u32).to_le_bytes());
+            }
+        }
+        for p in &self.parents {
+            match p {
+                None => out.push(0),
+                Some((parent, action)) => {
+                    out.push(1);
+                    out.extend_from_slice(&(*parent as u32).to_le_bytes());
+                    out.extend_from_slice(&(*action as u32).to_le_bytes());
+                }
+            }
+        }
+        push_ids(&mut out, &self.frontier);
+        match &self.reduction {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                for n in [
+                    r.ample_states,
+                    r.full_states,
+                    r.skipped_transitions,
+                    r.canon_hits,
+                ] {
+                    out.extend_from_slice(&(n as u64).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Snapshot, CheckpointError> {
+        let corrupt = |detail: String| CheckpointError::Corrupt { detail };
+        let mut r = Reader::new(body);
+        let version = r
+            .u32("version")
+            .map_err(|e| corrupt(e.to_string()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        // From here every decode error is structural corruption.
+        let mut read = SnapshotReader { r };
+        read.finish()
+    }
+
+    /// Writes the snapshot to `path` atomically: the encoding goes to
+    /// a temporary file in the same directory, which is then renamed
+    /// over `path` — a crash mid-write leaves any previous snapshot
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the filesystem refuses.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let body = self.encode_body();
+        let mut file = Vec::with_capacity(body.len() + 16);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &file).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Loads and verifies a snapshot: magic, format version, checksum,
+    /// and structural bounds (every id in range). Corrupt or truncated
+    /// files yield a typed error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] except `Mismatch` (configuration
+    /// validation is [`Snapshot::validate`]'s job).
+    pub fn load(path: &Path) -> Result<Snapshot, CheckpointError> {
+        let file = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        if file.len() < MAGIC.len() + 8 || &file[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (body, tail) = file[MAGIC.len()..].split_at(file.len() - MAGIC.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
+        if fnv1a(body) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        Snapshot::decode_body(body)
+    }
+}
+
+/// Decoding state for the snapshot body past the version word.
+struct SnapshotReader<'a> {
+    r: Reader<'a>,
+}
+
+impl SnapshotReader<'_> {
+    fn corrupt<T>(detail: impl Into<String>) -> Result<T, CheckpointError> {
+        Err(CheckpointError::Corrupt {
+            detail: detail.into(),
+        })
+    }
+
+    fn u8(&mut self, ctx: &'static str) -> Result<u8, CheckpointError> {
+        self.r
+            .u8(ctx)
+            .map_err(|e| CheckpointError::Corrupt { detail: e.to_string() })
+    }
+
+    fn u32(&mut self, ctx: &'static str) -> Result<u32, CheckpointError> {
+        self.r
+            .u32(ctx)
+            .map_err(|e| CheckpointError::Corrupt { detail: e.to_string() })
+    }
+
+    fn u64(&mut self, ctx: &'static str) -> Result<u64, CheckpointError> {
+        self.r
+            .u64(ctx)
+            .map_err(|e| CheckpointError::Corrupt { detail: e.to_string() })
+    }
+
+    fn id(&mut self, ctx: &'static str, bound: usize) -> Result<usize, CheckpointError> {
+        let id = self.u32(ctx)? as usize;
+        if id >= bound {
+            return Self::corrupt(format!("{ctx} {id} out of range (< {bound})"));
+        }
+        Ok(id)
+    }
+
+    fn ids(&mut self, ctx: &'static str, bound: usize) -> Result<Vec<usize>, CheckpointError> {
+        let n = self.u32(ctx)? as usize;
+        if n > bound {
+            return Self::corrupt(format!("{ctx} count {n} exceeds state count {bound}"));
+        }
+        (0..n).map(|_| self.id(ctx, bound)).collect()
+    }
+
+    fn finish(&mut self) -> Result<Snapshot, CheckpointError> {
+        let fp_bits = self.u32("fp_bits")?;
+        if fp_bits == 0 || fp_bits > 64 {
+            return Self::corrupt(format!("fp_bits {fp_bits} outside 1..=64"));
+        }
+        let mode = match self.u8("visited mode")? {
+            0 => VisitedMode::Fingerprint,
+            1 => VisitedMode::Exact,
+            m => return Self::corrupt(format!("unknown visited mode tag {m}")),
+        };
+        let reduced = match self.u8("reduced flag")? {
+            0 => false,
+            1 => true,
+            b => return Self::corrupt(format!("bad reduced flag {b}")),
+        };
+        let system_hash = self.u64("system hash")?;
+        let seq = self.u64("sequence number")?;
+        let n = self.u32("state count")? as usize;
+        let mut states = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            states.push(
+                codec::decode_state(&mut self.r)
+                    .map_err(|e| CheckpointError::Corrupt { detail: e.to_string() })?,
+            );
+        }
+        let init = self.ids("initial state id", n)?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = self.u32("edge count")? as usize;
+            let mut es = Vec::with_capacity(k.min(1 << 20));
+            for _ in 0..k {
+                let action = self.u32("edge action")? as usize;
+                let target = self.id("edge target", n)?;
+                es.push(Edge { action, target });
+            }
+            edges.push(es);
+        }
+        let mut parents = Vec::with_capacity(n);
+        for i in 0..n {
+            parents.push(match self.u8("parent tag")? {
+                0 => None,
+                1 => {
+                    let parent = self.id("parent id", i.max(1))?;
+                    let action = self.u32("parent action")? as usize;
+                    Some((parent, action))
+                }
+                t => return Self::corrupt(format!("bad parent tag {t}")),
+            });
+        }
+        let frontier = self.ids("frontier id", n)?;
+        let reduction = match self.u8("reduction tag")? {
+            0 => None,
+            1 => Some(ReductionStats {
+                ample_states: self.u64("ample states")? as usize,
+                full_states: self.u64("full states")? as usize,
+                skipped_transitions: self.u64("skipped transitions")? as usize,
+                canon_hits: self.u64("canon hits")? as usize,
+            }),
+            t => return Self::corrupt(format!("bad reduction tag {t}")),
+        };
+        if !self.r.is_empty() {
+            return Self::corrupt(format!(
+                "{} trailing byte(s) after the snapshot body",
+                self.r.remaining()
+            ));
+        }
+        Ok(Snapshot {
+            fp_bits,
+            mode,
+            reduced,
+            system_hash,
+            seq,
+            states,
+            init,
+            edges,
+            parents,
+            frontier,
+            reduction,
+        })
+    }
+}
+
+/// Captures a snapshot from a (possibly partial) exploration whose
+/// only incomplete states are the `frontier` ones: their (possibly
+/// partial) edge lists are cleared so they fully re-expand on resume.
+/// `keep` truncates the arena to a prefix — the reduced engines roll
+/// back to the last complete BFS level boundary (every kept edge then
+/// points inside the prefix); unreduced captures pass the full length.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn capture(
+    states: &[State],
+    init: &[usize],
+    edges: &[Vec<Edge>],
+    parents: &[Option<(usize, usize)>],
+    keep: usize,
+    frontier: &[usize],
+    mode: VisitedMode,
+    reduced: bool,
+    system_hash: u64,
+    fp_bits: u32,
+    seq: u64,
+    reduction: Option<ReductionStats>,
+) -> Snapshot {
+    let mut is_frontier = vec![false; keep];
+    for &f in frontier {
+        is_frontier[f] = true;
+    }
+    let edges = (0..keep)
+        .map(|i| {
+            if is_frontier[i] {
+                Vec::new()
+            } else {
+                edges[i].clone()
+            }
+        })
+        .collect();
+    let mut frontier = frontier.to_vec();
+    frontier.sort_unstable();
+    frontier.dedup();
+    Snapshot {
+        fp_bits,
+        mode,
+        reduced,
+        system_hash,
+        seq,
+        states: states[..keep].to_vec(),
+        init: init.to_vec(),
+        edges,
+        parents: parents[..keep].to_vec(),
+        frontier,
+        reduction,
+    }
+}
+
+/// The engines' checkpoint driver: counts expansions against the
+/// cadence, stamps sequence numbers, writes snapshots, and emits
+/// [`Event::Checkpoint`]. A write failure is reported once on stderr
+/// and disables further periodic writes — checkpointing is a
+/// best-effort safety net, never a reason to abort a healthy run.
+pub(crate) struct Checkpointer {
+    spec: Option<CheckpointSpec>,
+    seq: u64,
+    since: u64,
+    failed: bool,
+}
+
+impl Checkpointer {
+    pub(crate) fn new(spec: Option<CheckpointSpec>) -> Checkpointer {
+        Checkpointer {
+            spec,
+            seq: 0,
+            since: 0,
+            failed: false,
+        }
+    }
+
+    /// Whether checkpointing is configured and still healthy.
+    pub(crate) fn active(&self) -> bool {
+        self.spec.is_some() && !self.failed
+    }
+
+    /// Records `n` more expansions; true when a periodic snapshot is
+    /// due (the counter resets on the next [`Checkpointer::write`]).
+    pub(crate) fn due(&mut self, n: u64) -> bool {
+        match &self.spec {
+            Some(spec) if !self.failed => {
+                self.since += n;
+                self.since >= spec.cadence
+            }
+            _ => false,
+        }
+    }
+
+    /// Writes `snap` to the configured path (stamping the next
+    /// sequence number) and emits [`Event::Checkpoint`]. Returns the
+    /// resume token, or `None` if checkpointing is off or has failed.
+    pub(crate) fn write(
+        &mut self,
+        mut snap: Snapshot,
+        recorder: &RecorderHandle,
+    ) -> Option<ResumeToken> {
+        let spec = self.spec.as_ref()?;
+        if self.failed {
+            return None;
+        }
+        self.seq += 1;
+        self.since = 0;
+        snap.seq = self.seq;
+        if let Err(e) = snap.save(&spec.path) {
+            eprintln!("opentla-check: checkpointing disabled: {e}");
+            self.failed = true;
+            return None;
+        }
+        if recorder.enabled() {
+            recorder.record(&Event::Checkpoint {
+                seq: self.seq,
+                states: snap.states_used() as u64,
+                transitions: snap.transitions_used() as u64,
+                frontier: snap.frontier_len() as u64,
+            });
+        }
+        Some(ResumeToken {
+            path: spec.path.clone(),
+            seq: self.seq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opentla_kernel::Value;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            fp_bits: 64,
+            mode: VisitedMode::Fingerprint,
+            reduced: true,
+            system_hash: 0xdead_beef_cafe_f00d,
+            seq: 7,
+            states: vec![
+                State::new(vec![Value::Int(0), Value::Bool(false)]),
+                State::new(vec![Value::Int(1), Value::Bool(false)]),
+                State::new(vec![Value::Int(1), Value::Bool(true)]),
+            ],
+            init: vec![0],
+            edges: vec![
+                vec![
+                    Edge { action: 0, target: 1 },
+                    Edge { action: 1, target: 2 },
+                ],
+                Vec::new(),
+                Vec::new(),
+            ],
+            parents: vec![None, Some((0, 0)), Some((0, 1))],
+            frontier: vec![1, 2],
+            reduction: Some(ReductionStats {
+                ample_states: 1,
+                full_states: 2,
+                skipped_transitions: 3,
+                canon_hits: 4,
+            }),
+        }
+    }
+
+    fn assert_snapshots_equal(a: &Snapshot, b: &Snapshot) {
+        assert_eq!(a.fp_bits, b.fp_bits);
+        assert_eq!(a.mode, b.mode);
+        assert_eq!(a.reduced, b.reduced);
+        assert_eq!(a.system_hash, b.system_hash);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.init, b.init);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.parents, b.parents);
+        assert_eq!(a.frontier, b.frontier);
+        assert_eq!(a.reduction, b.reduction);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("opentla_ckpt_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.snap");
+        let snap = sample();
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_snapshots_equal(&snap, &back);
+        assert_eq!(back.states_used(), 3);
+        assert_eq!(back.transitions_used(), 2);
+        assert_eq!(back.frontier_len(), 2);
+        // No temp file left behind.
+        assert!(!dir.join("round_trip.snap.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let dir = std::env::temp_dir().join("opentla_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.snap");
+        sample().save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncation at every prefix length: typed error, no panic.
+        for cut in [0, 4, 8, 15, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let err = Snapshot::load(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::BadMagic | CheckpointError::ChecksumMismatch
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        // A flipped bit anywhere in the body trips the checksum.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(
+            Snapshot::load(&path).unwrap_err(),
+            CheckpointError::ChecksumMismatch
+        );
+        // Wrong magic.
+        let mut bad = pristine.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap_err(), CheckpointError::BadMagic);
+        // Unsupported version (re-checksummed, so it parses that far).
+        let mut versioned = pristine.clone();
+        versioned[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_end = versioned.len() - 8;
+        let sum = fnv1a(&versioned[8..body_end]);
+        versioned[body_end..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &versioned).unwrap();
+        assert_eq!(
+            Snapshot::load(&path).unwrap_err(),
+            CheckpointError::UnsupportedVersion { found: 99 }
+        );
+        // Missing file is an Io error.
+        assert!(matches!(
+            Snapshot::load(&dir.join("no_such.snap")).unwrap_err(),
+            CheckpointError::Io { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = CheckpointError::Mismatch {
+            field: "system",
+            snapshot: "0xaaaa".into(),
+            requested: "0xbbbb".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("system") && text.contains("refusing"), "{text}");
+        assert!(CheckpointError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(CheckpointError::UnsupportedVersion { found: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -38,6 +38,10 @@ pub enum CheckError {
     },
     /// An initial-state enumeration covered no states.
     NoInitialStates,
+    /// A checkpoint snapshot could not be written, read, or trusted
+    /// (corrupt, truncated, wrong version, or from a different
+    /// system/configuration).
+    Checkpoint(crate::checkpoint::CheckpointError),
     /// A structural precondition of an API was violated.
     Precondition {
         /// Human-readable description.
@@ -64,6 +68,7 @@ impl fmt::Display for CheckError {
                 "{context} requires a safety-canonical specification"
             ),
             CheckError::NoInitialStates => write!(f, "the system has no initial states"),
+            CheckError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             CheckError::Precondition { message } => write!(f, "{message}"),
         }
     }
@@ -75,6 +80,7 @@ impl std::error::Error for CheckError {
             CheckError::Eval(e) => Some(e),
             CheckError::Kernel(e) => Some(e),
             CheckError::Semantics(e) => Some(e),
+            CheckError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +101,12 @@ impl From<KernelError> for CheckError {
 impl From<SemanticsError> for CheckError {
     fn from(e: SemanticsError) -> Self {
         CheckError::Semantics(e)
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for CheckError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        CheckError::Checkpoint(e)
     }
 }
 

@@ -19,6 +19,7 @@
 //! for the soundness trade-off.
 
 use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
+use crate::checkpoint::{self, Checkpointer, ResumeToken, Snapshot};
 use crate::compiled::{CompiledSystem, EvalScratch};
 use crate::obs::{Event, Phase, PhaseGuard, ProgressSnapshot, RunReport, OBS_SCHEMA_VERSION};
 use crate::reduction::{AmpleScratch, Canonicalize, PreparedReduction, Reduction, ReductionStats};
@@ -26,8 +27,21 @@ use crate::{CheckError, System};
 use fxhash::FxHashMap;
 use opentla_kernel::State;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Every lock in the parallel engine guards state that is kept
+/// consistent *within* each critical section (pushes and map inserts
+/// happen together; see [`ParShared::intern_with`]), so a panic that
+/// poisons a lock leaves the protected data structurally sound — the
+/// worker's in-flight *results* are discarded separately by the
+/// panic-isolation path. Propagating the poison would instead turn one
+/// worker's bug into a whole-run abort.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How the explorer remembers which states it has already seen.
 ///
@@ -83,6 +97,28 @@ pub struct ExploreOptions {
     /// subsystem existed. Reduced graphs answer state-invariant
     /// queries only — liveness and step-invariant checks refuse them.
     pub reduction: Reduction,
+    /// Fault-injection knob for the parallel engine's panic isolation:
+    /// when set, exactly one worker deliberately panics mid-expansion
+    /// (see [`WorkerPanic`]). The run must survive degraded — this
+    /// exists so tests can prove it does. `None` (the default) injects
+    /// nothing; the sequential engines ignore it.
+    pub worker_panic: Option<WorkerPanic>,
+}
+
+/// Instructs one parallel worker to panic mid-expansion — test
+/// instrumentation for the engine's panic isolation (see
+/// [`ExploreOptions::worker_panic`]). The victim is whichever worker
+/// makes the first frontier claim past `after_claims`, counted
+/// globally across all workers and levels (a fire-once flag guarantees
+/// exactly one panic per run). The panic fires inside the successor
+/// callback, *after* at least one edge of the current parent was
+/// recorded, so it exercises the coordinator's truncate-and-requeue
+/// recovery rather than a clean boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic arms once this many frontier entries have been
+    /// claimed run-wide (0 = panic during the first claimed parent).
+    pub after_claims: u64,
 }
 
 impl Default for ExploreOptions {
@@ -93,6 +129,7 @@ impl Default for ExploreOptions {
             threads: None,
             fp_bits: 64,
             reduction: Reduction::none(),
+            worker_panic: None,
         }
     }
 }
@@ -443,6 +480,14 @@ pub struct Exploration {
     /// What the reduction pruned, when one was active (`None` on
     /// unreduced runs).
     pub reduction: Option<ReductionStats>,
+    /// The run's resumable core, when it exhausted its budget at a
+    /// resumable point (`None` on complete runs, and on runs cut off
+    /// during initial-state enumeration — a partial init enumeration
+    /// cannot be resumed soundly). This is the same snapshot an active
+    /// [`Budget::with_checkpoint`] writes to disk;
+    /// [`explore_escalating`] hands it straight back to the next
+    /// attempt, in memory.
+    pub snapshot: Option<Box<Snapshot>>,
 }
 
 impl std::ops::Deref for Exploration {
@@ -496,7 +541,110 @@ pub fn explore_governed_with(
     options: &ExploreOptions,
 ) -> Result<Exploration, CheckError> {
     let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
-    explore_observed(system, budget, options, threads)
+    explore_observed(system, budget, options, threads, None)
+}
+
+/// Crash-tolerant exploration: continues from the snapshot at the
+/// budget's [`CheckpointSpec`](crate::CheckpointSpec) path if one
+/// exists, and starts a fresh (checkpointed) run otherwise — so the
+/// *same call* works before and after an interruption, TLC
+/// `-recover`-style.
+///
+/// The resumed run re-expands only the snapshot's frontier: O(new
+/// work), not O(total). Its cumulative state/transition totals (the
+/// meter is pre-charged with the snapshot's banked work) and — once
+/// complete — its [`StateGraph`] are byte-identical to an
+/// uninterrupted run's.
+///
+/// # Errors
+///
+/// * [`CheckError::Precondition`] if the budget has no
+///   [`Budget::with_checkpoint`] spec;
+/// * [`CheckError::Checkpoint`] if the snapshot file exists but is
+///   corrupt, truncated, of an unsupported version, or was taken under
+///   a different system or configuration;
+/// * otherwise as [`explore_governed`].
+pub fn explore_resumable(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let Some(spec) = &budget.checkpoint else {
+        return Err(CheckError::Precondition {
+            message: "explore_resumable requires a budget with a checkpoint spec \
+                      (Budget::with_checkpoint)"
+                .into(),
+        });
+    };
+    if spec.path.exists() {
+        let snap = Snapshot::load(&spec.path)?;
+        resume_exploration(system, budget, options, &snap)
+    } else {
+        explore_governed_with(system, budget, options)
+    }
+}
+
+/// Continues an exploration from an in-memory [`Snapshot`] (use
+/// [`explore_resumable`] for the load-from-disk path).
+///
+/// The snapshot is validated first: resuming under a different system,
+/// fingerprint width, [`VisitedMode`], or reduction activity is
+/// refused with a typed error rather than silently producing a wrong
+/// graph. Any engine may resume any snapshot — thread count is not
+/// pinned, because the parallel engine's canonical renumbering makes
+/// the result independent of it.
+///
+/// # Errors
+///
+/// * [`CheckError::Checkpoint`] with
+///   [`CheckpointError::Mismatch`](crate::CheckpointError::Mismatch)
+///   if the snapshot does not match `system` / `options`;
+/// * otherwise as [`explore_governed`].
+pub fn resume_exploration(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+    snapshot: &Snapshot,
+) -> Result<Exploration, CheckError> {
+    snapshot.validate(system, options)?;
+    let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
+    explore_observed(system, budget, options, threads, Some(snapshot))
+}
+
+/// [`escalate`](crate::escalate) specialized to exploration, with the
+/// retries *resuming* instead of restarting: each exhausted attempt
+/// leaves its frontier in [`Exploration::snapshot`], and the next
+/// attempt (under a `factor`-times larger budget) continues from
+/// exactly there. Total work across all attempts is therefore O(final
+/// state space), not O(attempts × state space) — the quadratic
+/// throwaway of restart-based escalation is gone.
+///
+/// Returns the first complete result, or the last partial one if every
+/// attempt exhausted. Attempts cut off during initial-state
+/// enumeration restart (there is nothing sound to resume).
+///
+/// # Errors
+///
+/// As [`explore_governed`].
+pub fn explore_escalating(
+    system: &System,
+    budget: &Budget,
+    factor: u32,
+    attempts: usize,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
+    let mut current = budget.clone();
+    let mut result = explore_observed(system, &current, options, threads, None)?;
+    for _ in 1..attempts.max(1) {
+        if result.outcome.is_complete() {
+            break;
+        }
+        current = current.escalated(factor);
+        let snap = result.snapshot.take();
+        result = explore_observed(system, &current, options, threads, snap.as_deref())?;
+    }
+    Ok(result)
 }
 
 /// Routes to the engine picked by `threads`, preparing the reduction
@@ -507,12 +655,13 @@ fn explore_dispatch(
     budget: &Budget,
     options: &ExploreOptions,
     threads: usize,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     let prepared = options.reduction.prepare(system);
     if threads > 1 {
-        explore_parallel_impl(system, budget, options, threads, prepared.as_ref())
+        explore_parallel_impl(system, budget, options, threads, prepared.as_ref(), resume)
     } else {
-        explore_sequential(system, budget, options, prepared.as_ref())
+        explore_sequential(system, budget, options, prepared.as_ref(), resume)
     }
 }
 
@@ -527,10 +676,11 @@ fn explore_observed(
     budget: &Budget,
     options: &ExploreOptions,
     threads: usize,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     let rec = budget.recorder.clone();
     if !rec.enabled() {
-        return explore_dispatch(system, budget, options, threads);
+        return explore_dispatch(system, budget, options, threads, resume);
     }
     let engine = if threads > 1 {
         "explore_parallel"
@@ -546,8 +696,16 @@ fn explore_observed(
         threads,
         mode,
     });
+    if let Some(snap) = resume {
+        rec.record(&Event::Resume {
+            seq: snap.seq,
+            states: snap.states_used() as u64,
+            transitions: snap.transitions_used() as u64,
+            frontier: snap.frontier_len() as u64,
+        });
+    }
     let start = std::time::Instant::now();
-    let result = explore_dispatch(system, budget, options, threads);
+    let result = explore_dispatch(system, budget, options, threads, resume);
     let report = match &result {
         Ok(run) => {
             let stats = run.graph.stats();
@@ -683,7 +841,7 @@ pub fn explore_parallel_governed(
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         })
         .max(1);
-    explore_observed(system, budget, options, threads)
+    explore_observed(system, budget, options, threads, None)
 }
 
 // ---------------------------------------------------------------------
@@ -695,14 +853,67 @@ fn explore_sequential(
     budget: &Budget,
     options: &ExploreOptions,
     prepared: Option<&PreparedReduction>,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     if let Some(red) = prepared {
-        return explore_sequential_reduced(system, budget, options, red);
+        return explore_sequential_reduced(system, budget, options, red, resume);
     }
     match options.mode {
-        VisitedMode::Fingerprint => explore_sequential_fp(system, budget, options),
-        VisitedMode::Exact => explore_sequential_exact(system, budget, options),
+        VisitedMode::Fingerprint => explore_sequential_fp(system, budget, options, resume),
+        VisitedMode::Exact => explore_sequential_exact(system, budget, options, resume),
     }
+}
+
+/// Why sequential resumption needs no renumbering pass: every snapshot
+/// — from any engine — stores its arena in canonical (sequential
+/// discovery) order with the frontier as the arena's *tail*. For
+/// sequential-origin snapshots the BFS queue is always the most
+/// recently discovered suffix of the arena; parallel-origin snapshots
+/// are captured from the canonical replay rolled back to a level
+/// boundary, whose frontier (the last complete level) is likewise the
+/// tail. Re-seeding the queue with the frontier in id order therefore
+/// continues the *exact* sequential discovery order, and new states
+/// extend the arena precisely as an uninterrupted run would.
+///
+/// Builds the final snapshot of an exhausted sequential run (shared by
+/// all three sequential engines): `keep`/`frontier` follow the
+/// engine's cut discipline, and the snapshot is written to disk when a
+/// checkpoint spec is active.
+#[allow(clippy::too_many_arguments)]
+fn seq_exhaustion_snapshot(
+    ck: &mut Checkpointer,
+    budget: &Budget,
+    states: &[State],
+    init: &[usize],
+    edges: &[Vec<Edge>],
+    parents: &[Option<(usize, usize)>],
+    keep: usize,
+    frontier: &[usize],
+    options: &ExploreOptions,
+    reduced: bool,
+    sys_hash: u64,
+    reduction: Option<ReductionStats>,
+) -> (Option<Box<Snapshot>>, Option<ResumeToken>) {
+    let snap = checkpoint::capture(
+        states,
+        init,
+        edges,
+        parents,
+        keep,
+        frontier,
+        options.mode,
+        reduced,
+        sys_hash,
+        options.fp_bits.clamp(1, 64),
+        0,
+        reduction,
+    );
+    let token = if ck.active() {
+        ck.write(snap.clone(), &budget.recorder)
+    } else {
+        None
+    };
+    (Some(Box::new(snap)), token)
 }
 
 /// The fingerprinted hot path: successor fingerprints are derived
@@ -715,18 +926,16 @@ fn explore_sequential_fp(
     system: &System,
     budget: &Budget,
     options: &ExploreOptions,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     use std::collections::hash_map::Entry;
     use std::ops::ControlFlow;
 
-    let init_states = system.init().states(system.universe())?;
-    if init_states.is_empty() {
-        return Err(CheckError::NoInitialStates);
-    }
     let compiled = CompiledSystem::compile(system);
     let mut scratch = EvalScratch::new();
-    let meter = Meter::start(budget);
     let mask = options.mask();
+    let sys_hash = checkpoint::system_hash(system);
+    let mut ck = Checkpointer::new(budget.checkpoint.clone());
     let mut map: FxHashMap<u64, usize> = FxHashMap::default();
     let mut states: Vec<State> = Vec::new();
     // Unmasked fingerprint per state id, for incremental derivation.
@@ -736,7 +945,32 @@ fn explore_sequential_fp(
     let mut init: Vec<usize> = Vec::new();
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
-    {
+    let mut exhausted_in_init = false;
+    let meter;
+    if let Some(snap) = resume {
+        // Re-seed from the snapshot: arena, edges, and BFS tree come
+        // back verbatim; the visited map is rebuilt by
+        // re-fingerprinting the arena (deterministic across
+        // processes), preserving first-id-wins collision behavior; the
+        // frontier becomes the queue; the meter is pre-charged with
+        // the banked work so cumulative budgets keep their meaning.
+        states = snap.states.clone();
+        edges = snap.edges.clone();
+        parents = snap.parents.clone();
+        init = snap.init.clone();
+        for (id, s) in states.iter().enumerate() {
+            let fp = s.fingerprint();
+            fps.push(fp);
+            map.entry(fp & mask).or_insert(id);
+        }
+        queue.extend(snap.frontier.iter().copied());
+        meter = Meter::start_resumed(budget, snap.states_used(), snap.transitions_used());
+    } else {
+        let init_states = system.init().states(system.universe())?;
+        if init_states.is_empty() {
+            return Err(CheckError::NoInitialStates);
+        }
+        meter = Meter::start(budget);
         let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
         for s in init_states {
             let fp = s.fingerprint();
@@ -745,6 +979,7 @@ fn explore_sequential_fp(
                 Entry::Vacant(e) => {
                     if let Some(reason) = meter.charge_state() {
                         exhausted = Some(reason);
+                        exhausted_in_init = true;
                         break;
                     }
                     let id = states.len();
@@ -764,6 +999,25 @@ fn explore_sequential_fp(
         if let Some(reason) = meter.checkpoint() {
             exhausted = Some(reason);
             break;
+        }
+        // Periodic snapshot at the loop head: the queue is a clean cut
+        // (everything off-queue is fully expanded).
+        if ck.due(1) {
+            let snap = checkpoint::capture(
+                &states,
+                &init,
+                &edges,
+                &parents,
+                states.len(),
+                queue.make_contiguous(),
+                options.mode,
+                false,
+                sys_hash,
+                options.fp_bits.clamp(1, 64),
+                0,
+                None,
+            );
+            ck.write(snap, &budget.recorder);
         }
         let Some(id) = queue.pop_front() else {
             break;
@@ -805,6 +1059,23 @@ fn explore_sequential_fp(
         }
     }
     drop(expand_phase);
+    let (snapshot, resume_token) = match &exhausted {
+        Some(_) if !exhausted_in_init => seq_exhaustion_snapshot(
+            &mut ck,
+            budget,
+            &states,
+            &init,
+            &edges,
+            &parents,
+            states.len(),
+            queue.make_contiguous(),
+            options,
+            false,
+            sys_hash,
+            None,
+        ),
+        _ => (None, None),
+    };
     let graph = StateGraph {
         states,
         visited: Visited::Fingerprint { map, mask },
@@ -820,6 +1091,7 @@ fn explore_sequential_fp(
             reason,
             frontier_size: queue.len(),
             stats: graph.stats(),
+            resume: resume_token,
         },
     };
     Ok(Exploration {
@@ -827,6 +1099,7 @@ fn explore_sequential_fp(
         graph,
         outcome,
         reduction: None,
+        snapshot,
     })
 }
 
@@ -837,19 +1110,36 @@ fn explore_sequential_exact(
     system: &System,
     budget: &Budget,
     options: &ExploreOptions,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
-    let init_states = system.init().states(system.universe())?;
-    if init_states.is_empty() {
-        return Err(CheckError::NoInitialStates);
-    }
     let compiled = CompiledSystem::compile(system);
     let mut scratch = EvalScratch::new();
     let mut succ: Vec<(usize, State)> = Vec::new();
-    let meter = Meter::start(budget);
+    let sys_hash = checkpoint::system_hash(system);
+    let mut ck = Checkpointer::new(budget.checkpoint.clone());
     let mut graph = StateGraph::new(options.mode, options.mask());
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
-    {
+    let mut exhausted_in_init = false;
+    let meter;
+    if let Some(snap) = resume {
+        graph.states = snap.states.clone();
+        graph.edges = snap.edges.clone();
+        graph.parents = snap.parents.clone();
+        graph.init = snap.init.clone();
+        for id in 0..graph.states.len() {
+            let (_, fp) = graph.visited.lookup(&graph.states[id]);
+            let s = graph.states[id].clone();
+            graph.visited.insert(&s, fp, id);
+        }
+        queue.extend(snap.frontier.iter().copied());
+        meter = Meter::start_resumed(budget, snap.states_used(), snap.transitions_used());
+    } else {
+        let init_states = system.init().states(system.universe())?;
+        if init_states.is_empty() {
+            return Err(CheckError::NoInitialStates);
+        }
+        meter = Meter::start(budget);
         let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
         for s in init_states {
             let (seen, fp) = graph.visited.lookup(&s);
@@ -858,6 +1148,7 @@ fn explore_sequential_exact(
             }
             if let Some(reason) = meter.charge_state() {
                 exhausted = Some(reason);
+                exhausted_in_init = true;
                 break;
             }
             let id = graph.states.len();
@@ -874,6 +1165,23 @@ fn explore_sequential_exact(
         if let Some(reason) = meter.checkpoint() {
             exhausted = Some(reason);
             break;
+        }
+        if ck.due(1) {
+            let snap = checkpoint::capture(
+                &graph.states,
+                &graph.init,
+                &graph.edges,
+                &graph.parents,
+                graph.states.len(),
+                queue.make_contiguous(),
+                options.mode,
+                false,
+                sys_hash,
+                options.fp_bits.clamp(1, 64),
+                0,
+                None,
+            );
+            ck.write(snap, &budget.recorder);
         }
         let Some(id) = queue.pop_front() else {
             break;
@@ -909,12 +1217,30 @@ fn explore_sequential_exact(
         }
     }
     drop(expand_phase);
+    let (snapshot, resume_token) = match &exhausted {
+        Some(_) if !exhausted_in_init => seq_exhaustion_snapshot(
+            &mut ck,
+            budget,
+            &graph.states,
+            &graph.init,
+            &graph.edges,
+            &graph.parents,
+            graph.states.len(),
+            queue.make_contiguous(),
+            options,
+            false,
+            sys_hash,
+            None,
+        ),
+        _ => (None, None),
+    };
     let outcome = match exhausted {
         None => Outcome::Complete,
         Some(reason) => Outcome::Exhausted {
             reason,
             frontier_size: queue.len(),
             stats: graph.stats(),
+            resume: resume_token,
         },
     };
     Ok(Exploration {
@@ -922,6 +1248,7 @@ fn explore_sequential_exact(
         graph,
         outcome,
         reduction: None,
+        snapshot,
     })
 }
 
@@ -941,23 +1268,46 @@ fn explore_sequential_reduced(
     budget: &Budget,
     options: &ExploreOptions,
     red: &PreparedReduction,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     use std::ops::ControlFlow;
 
-    let init_states = system.init().states(system.universe())?;
-    if init_states.is_empty() {
-        return Err(CheckError::NoInitialStates);
-    }
     let compiled = CompiledSystem::compile(system);
     let mut scratch = EvalScratch::new();
-    let meter = Meter::start(budget);
+    let sys_hash = checkpoint::system_hash(system);
+    let mut ck = Checkpointer::new(budget.checkpoint.clone());
     let mut graph = StateGraph::new(options.mode, options.mask());
     graph.reduced = true;
     graph.canon = red.canon.clone();
     let mut stats = ReductionStats::default();
     let mut queue = std::collections::VecDeque::new();
     let mut exhausted: Option<ExhaustReason> = None;
-    {
+    let mut exhausted_in_init = false;
+    let meter;
+    if let Some(snap) = resume {
+        // Arena states were stored post-canonicalization, so they seed
+        // the visited set directly. The snapshot's frontier is exactly
+        // the last complete BFS level (reduced captures roll back to
+        // the level boundary), so the proviso bookkeeping restarts
+        // cleanly: the whole arena belongs to completed levels.
+        graph.states = snap.states.clone();
+        graph.edges = snap.edges.clone();
+        graph.parents = snap.parents.clone();
+        graph.init = snap.init.clone();
+        for id in 0..graph.states.len() {
+            let (_, fp) = graph.visited.lookup(&graph.states[id]);
+            let s = graph.states[id].clone();
+            graph.visited.insert(&s, fp, id);
+        }
+        queue.extend(snap.frontier.iter().copied());
+        stats = snap.reduction.unwrap_or_default();
+        meter = Meter::start_resumed(budget, snap.states_used(), snap.transitions_used());
+    } else {
+        let init_states = system.init().states(system.universe())?;
+        if init_states.is_empty() {
+            return Err(CheckError::NoInitialStates);
+        }
+        meter = Meter::start(budget);
         let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
         for s in init_states {
             let s = red.canonical(s);
@@ -967,6 +1317,7 @@ fn explore_sequential_reduced(
             }
             if let Some(reason) = meter.charge_state() {
                 exhausted = Some(reason);
+                exhausted_in_init = true;
                 break;
             }
             let id = graph.states.len();
@@ -985,6 +1336,14 @@ fn explore_sequential_reduced(
     // guarantees no enabled action is ignored forever.
     let mut boundary = graph.states.len();
     let mut remaining = queue.len();
+    // Checkpoint bookkeeping: the level being expanded consists of ids
+    // [level_start, boundary); a snapshot rolls the arena back to
+    // `boundary` and re-queues that whole range, so resumption always
+    // restarts the level from its beginning (at most one level of work
+    // is re-done). The reduction counters snapshotted at the rollover
+    // match that cut.
+    let mut level_start = boundary - queue.len();
+    let mut stats_at_level_start = stats;
     let mut succ: Vec<(usize, State)> = Vec::new();
     let mut ample_scratch = AmpleScratch::default();
     let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
@@ -992,6 +1351,24 @@ fn explore_sequential_reduced(
         if let Some(reason) = meter.checkpoint() {
             exhausted = Some(reason);
             break;
+        }
+        if ck.due(1) {
+            let frontier: Vec<usize> = (level_start..boundary).collect();
+            let snap = checkpoint::capture(
+                &graph.states,
+                &graph.init,
+                &graph.edges,
+                &graph.parents,
+                boundary,
+                &frontier,
+                options.mode,
+                true,
+                sys_hash,
+                options.fp_bits.clamp(1, 64),
+                0,
+                Some(stats_at_level_start),
+            );
+            ck.write(snap, &budget.recorder);
         }
         let Some(id) = queue.pop_front() else {
             break;
@@ -1070,17 +1447,37 @@ fn explore_sequential_reduced(
         }
         remaining -= 1;
         if remaining == 0 {
+            level_start = boundary;
             boundary = graph.states.len();
             remaining = queue.len();
+            stats_at_level_start = stats;
         }
     }
     drop(expand_phase);
+    let (snapshot, resume_token) = match &exhausted {
+        Some(_) if !exhausted_in_init => seq_exhaustion_snapshot(
+            &mut ck,
+            budget,
+            &graph.states,
+            &graph.init,
+            &graph.edges,
+            &graph.parents,
+            boundary,
+            &(level_start..boundary).collect::<Vec<_>>(),
+            options,
+            true,
+            sys_hash,
+            Some(stats_at_level_start),
+        ),
+        _ => (None, None),
+    };
     let outcome = match exhausted {
         None => Outcome::Complete,
         Some(reason) => Outcome::Exhausted {
             reason,
             frontier_size: queue.len(),
             stats: graph.stats(),
+            resume: resume_token,
         },
     };
     Ok(Exploration {
@@ -1088,6 +1485,7 @@ fn explore_sequential_reduced(
         graph,
         outcome,
         reduction: Some(stats),
+        snapshot,
     })
 }
 
@@ -1164,6 +1562,12 @@ struct WorkerOut {
     /// Reduction counters for the parents this worker expanded
     /// (all-zero when reduction is off).
     stats: ReductionStats,
+    /// The parent currently being expanded, with the `edges` length and
+    /// `stats` value at the moment it was claimed. `Some` only while an
+    /// expansion is in flight — so if the worker panics, the
+    /// coordinator can truncate the half-recorded expansion back to
+    /// this mark and re-queue the parent.
+    current: Option<(Pid, usize, ReductionStats)>,
 }
 
 /// Shared coordination state of one parallel run.
@@ -1174,24 +1578,29 @@ struct ParShared<'a> {
     stop: AtomicBool,
     reason: Mutex<Option<ExhaustReason>>,
     error: Mutex<Option<CheckError>>,
+    /// Fault-injection bookkeeping for [`WorkerPanic`]: frontier claims
+    /// made run-wide, and whether the injected panic already fired
+    /// (fire-once, whichever worker crosses the threshold first).
+    fault_claims: AtomicU64,
+    fault_fired: AtomicBool,
 }
 
 impl ParShared<'_> {
     /// Records the first exhaustion reason and raises the stop flag.
     fn note_exhaustion(&self, r: ExhaustReason) {
-        self.reason.lock().unwrap().get_or_insert(r);
+        lock(&self.reason).get_or_insert(r);
         self.stop.store(true, Ordering::Relaxed);
     }
 
     /// Records the first engine error and raises the stop flag.
     fn note_error(&self, e: CheckError) {
-        self.error.lock().unwrap().get_or_insert(e);
+        lock(&self.error).get_or_insert(e);
         self.stop.store(true, Ordering::Relaxed);
     }
 
     /// The state behind a pid, with its unmasked fingerprint.
     fn state_of(&self, p: Pid) -> (State, u64) {
-        let shard = self.shards[shard_of(p)].lock().unwrap();
+        let shard = lock(&self.shards[shard_of(p)]);
         let local = local_of(p);
         (shard.arena[local].clone(), shard.fps[local])
     }
@@ -1210,7 +1619,7 @@ impl ParShared<'_> {
     ) -> Result<(Pid, bool), ExhaustReason> {
         let key = fp & self.mask;
         let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = self.shards[shard_i].lock().unwrap();
+        let mut shard = lock(&self.shards[shard_i]);
         let Shard { keys, arena, fps } = &mut *shard;
         match keys {
             ShardKeys::Fingerprint(map) => match map.entry(key) {
@@ -1250,6 +1659,45 @@ impl ParShared<'_> {
         }
     }
 
+    /// Inserts a snapshot state during resume seeding, *without*
+    /// charging the meter — the resumed [`Meter`] was pre-charged with
+    /// the snapshot's banked totals, so seeding must not count again.
+    /// Returns the pid; a masked-fingerprint collision maps to the
+    /// first occupant (the same first-id-wins rule the snapshot's
+    /// canonical order encodes), so collision behavior survives the
+    /// round trip.
+    fn seed(&self, s: &State) -> Pid {
+        let fp = s.fingerprint();
+        let key = fp & self.mask;
+        let shard_i = (key as usize) & (NUM_SHARDS - 1);
+        let mut shard = lock(&self.shards[shard_i]);
+        let Shard { keys, arena, fps } = &mut *shard;
+        match keys {
+            ShardKeys::Fingerprint(map) => match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    pid(shard_i, *e.get() as usize)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let local = arena.len();
+                    arena.push(s.clone());
+                    fps.push(fp);
+                    e.insert(local as u32);
+                    pid(shard_i, local)
+                }
+            },
+            ShardKeys::Exact(map) => {
+                if let Some(&local) = map.get(s) {
+                    return pid(shard_i, local as usize);
+                }
+                let local = arena.len();
+                arena.push(s.clone());
+                fps.push(fp);
+                map.insert(s.clone(), local as u32);
+                pid(shard_i, local)
+            }
+        }
+    }
+
     /// Whether `s` was interned before the current level began — the
     /// parallel form of the sequential `id < boundary` cycle-proviso
     /// test. `bounds` holds every shard's arena length snapshotted at
@@ -1259,7 +1707,7 @@ impl ParShared<'_> {
     fn in_completed_level(&self, s: &State, bounds: &[usize]) -> bool {
         let key = s.fingerprint() & self.mask;
         let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let shard = self.shards[shard_i].lock().unwrap();
+        let shard = lock(&self.shards[shard_i]);
         let local = match &shard.keys {
             ShardKeys::Fingerprint(map) => map.get(&key).copied(),
             ShardKeys::Exact(map) => map.get(s).copied(),
@@ -1268,32 +1716,140 @@ impl ParShared<'_> {
     }
 }
 
+/// The canonical replay of a parallel run's edge records, shared by
+/// the final renumbering pass and mid-run checkpoint captures.
+///
+/// Replaying the BFS sequentially over the recorded per-parent edge
+/// runs reproduces the sequential engine's discovery order exactly:
+/// init enumeration order first, then children in (parent BFS order ×
+/// action order) — so ids, edges, parents, and traces coincide with a
+/// sequential run's. `canon[shard][local]` maps pids to canonical ids
+/// (`u32::MAX` = unreachable from the records, e.g. a child whose
+/// recording worker died mid-expansion before the make-up pass ran);
+/// `depth` is each state's BFS level, non-decreasing in id order.
+struct Replay {
+    canon: Vec<Vec<u32>>,
+    states: Vec<State>,
+    edges: Vec<Vec<Edge>>,
+    parents: Vec<Option<(usize, usize)>>,
+    init: Vec<usize>,
+    depth: Vec<u32>,
+}
+
+/// Builds the [`Replay`]. Each parent's run is indexed first:
+/// `edge_index[shard][local]` is `(which vector, start, length)`,
+/// `u32::MAX` marking "no edges". Every interned state has a recorded
+/// incoming edge (interning and edge-recording are adjacent in the
+/// worker, and a panic's truncated records are re-recorded by the
+/// make-up pass) or is initial, so the replay reaches every interned
+/// state of every *closed* level.
+fn replay_records(
+    arena_lens: &[usize],
+    state_of: impl Fn(Pid) -> State,
+    all_edges: &[Vec<(Pid, u32, Pid)>],
+    init_pids: &[Pid],
+) -> Replay {
+    const NO_RUN: (u32, u32, u32) = (u32::MAX, 0, 0);
+    let mut edge_index: Vec<Vec<(u32, u32, u32)>> =
+        arena_lens.iter().map(|&n| vec![NO_RUN; n]).collect();
+    for (vi, recs) in all_edges.iter().enumerate() {
+        let mut i = 0;
+        while i < recs.len() {
+            let parent = recs[i].0;
+            let mut j = i + 1;
+            while j < recs.len() && recs[j].0 == parent {
+                j += 1;
+            }
+            edge_index[shard_of(parent)][local_of(parent)] =
+                (vi as u32, i as u32, (j - i) as u32);
+            i = j;
+        }
+    }
+
+    let mut r = Replay {
+        canon: arena_lens.iter().map(|&n| vec![u32::MAX; n]).collect(),
+        states: Vec::new(),
+        edges: Vec::new(),
+        parents: Vec::new(),
+        init: Vec::new(),
+        depth: Vec::new(),
+    };
+    let mut queue = std::collections::VecDeque::new();
+    for &p in init_pids {
+        let id = r.states.len();
+        r.canon[shard_of(p)][local_of(p)] = id as u32;
+        r.states.push(state_of(p));
+        r.edges.push(Vec::new());
+        r.parents.push(None);
+        r.depth.push(0);
+        r.init.push(id);
+        queue.push_back(p);
+    }
+    while let Some(p) = queue.pop_front() {
+        let id = r.canon[shard_of(p)][local_of(p)] as usize;
+        let (vi, start, len) = edge_index[shard_of(p)][local_of(p)];
+        if vi == u32::MAX {
+            continue;
+        }
+        let run = &all_edges[vi as usize][start as usize..(start + len) as usize];
+        for &(_, action, child) in run {
+            let slot = &mut r.canon[shard_of(child)][local_of(child)];
+            let target = if *slot == u32::MAX {
+                let nid = r.states.len();
+                *slot = nid as u32;
+                r.states.push(state_of(child));
+                r.edges.push(Vec::new());
+                r.parents.push(Some((id, action as usize)));
+                r.depth.push(r.depth[id] + 1);
+                queue.push_back(child);
+                nid
+            } else {
+                *slot as usize
+            };
+            r.edges[id].push(Edge {
+                action: action as usize,
+                target,
+            });
+        }
+    }
+    r
+}
+
 /// Level-synchronous parallel BFS: scoped workers drain the current
 /// frontier through an atomic cursor, interning successors into the
 /// sharded visited set; when a level is exhausted the workers'
 /// newly-inserted states become the next frontier. A final sequential
 /// renumbering pass replays the BFS over the recorded per-parent edge
 /// lists, producing canonical (sequential-identical) state indices.
+///
+/// Workers are panic-isolated: a panicking worker loses only its
+/// in-flight expansion (truncated back to the claim mark and made up
+/// by the coordinator before the level closes), the run degrades to
+/// the surviving workers, and every shared lock is poison-tolerant —
+/// the critical sections keep the shards internally consistent, so a
+/// poisoned mutex carries no torn data.
 fn explore_parallel_impl(
     system: &System,
     budget: &Budget,
     options: &ExploreOptions,
     threads: usize,
     prepared: Option<&PreparedReduction>,
+    resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
     if threads <= 1 {
         // With a single worker, level-synchronous BFS degenerates to
         // plain sequential BFS — same discovery order, same graph — so
         // the sharding and renumbering machinery would be pure
         // overhead. Delegate.
-        return explore_sequential(system, budget, options, prepared);
-    }
-    let init_states = system.init().states(system.universe())?;
-    if init_states.is_empty() {
-        return Err(CheckError::NoInitialStates);
+        return explore_sequential(system, budget, options, prepared, resume);
     }
     let compiled = CompiledSystem::compile(system);
-    let meter = Meter::start(budget);
+    let sys_hash = checkpoint::system_hash(system);
+    let mut ck = Checkpointer::new(budget.checkpoint.clone());
+    let meter = match resume {
+        Some(snap) => Meter::start_resumed(budget, snap.states_used(), snap.transitions_used()),
+        None => Meter::start(budget),
+    };
     let shared = ParShared {
         shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new(options.mode))).collect(),
         mask: options.mask(),
@@ -1301,12 +1857,45 @@ fn explore_parallel_impl(
         stop: AtomicBool::new(false),
         reason: Mutex::new(None),
         error: Mutex::new(None),
+        fault_claims: AtomicU64::new(0),
+        fault_fired: AtomicBool::new(false),
     };
 
-    // Initial states: interned sequentially so their canonical order
-    // is the enumeration order, exactly as in the sequential engine.
     let mut init_pids: Vec<Pid> = Vec::new();
-    {
+    // Every worker's edge vector, kept whole: each parent is expanded
+    // by exactly one worker, so its edges form one contiguous run (in
+    // action order) inside exactly one of these vectors.
+    let mut all_edges: Vec<Vec<(Pid, u32, Pid)>> = Vec::new();
+    let mut total_stats = ReductionStats::default();
+    let mut exhausted_in_init = false;
+    let frontier_seed: Vec<Pid>;
+    if let Some(snap) = resume {
+        // Resume: seed the shards with the snapshot arena (canonical
+        // order, so fingerprint first-id-wins dedup is reproduced) and
+        // turn the snapshot's edges into one pre-recorded run vector —
+        // the canonical replay then cannot tell banked work from new
+        // work. The meter was pre-charged above, so seeding is free.
+        let pid_of: Vec<Pid> = snap.states.iter().map(|s| shared.seed(s)).collect();
+        init_pids = snap.init.iter().map(|&i| pid_of[i]).collect();
+        let mut records: Vec<(Pid, u32, Pid)> = Vec::new();
+        for (id, run) in snap.edges.iter().enumerate() {
+            for e in run {
+                records.push((pid_of[id], e.action as u32, pid_of[e.target]));
+            }
+        }
+        if !records.is_empty() {
+            all_edges.push(records);
+        }
+        total_stats = snap.reduction.unwrap_or_default();
+        frontier_seed = snap.frontier.iter().map(|&i| pid_of[i]).collect();
+    } else {
+        let init_states = system.init().states(system.universe())?;
+        if init_states.is_empty() {
+            return Err(CheckError::NoInitialStates);
+        }
+        // Initial states: interned sequentially so their canonical
+        // order is the enumeration order, exactly as in the sequential
+        // engine.
         let _init_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreInit);
         for s in init_states {
             let s = match prepared {
@@ -1319,25 +1908,33 @@ fn explore_parallel_impl(
                 Ok((_, false)) => {}
                 Err(reason) => {
                     shared.note_exhaustion(reason);
+                    exhausted_in_init = true;
                     break;
                 }
             }
         }
+        frontier_seed = init_pids.clone();
     }
 
-    let mut frontier: Vec<Pid> = init_pids.clone();
-    // Every worker's edge vector, kept whole: each parent is expanded
-    // by exactly one worker, so its edges form one contiguous run (in
-    // action order) inside exactly one of these vectors.
-    let mut all_edges: Vec<Vec<(Pid, u32, Pid)>> = Vec::new();
+    let mut frontier: Vec<Pid> = frontier_seed;
     // Discovered-but-unexpanded pids once the run stops early.
     let mut pending: Vec<Pid> = Vec::new();
     let observe = meter.observed();
     let mut level: u64 = 0;
-    let mut total_stats = ReductionStats::default();
+    // Live worker count: shrinks when workers die, never below one.
+    let mut alive = threads;
+    let mut fault = options.worker_panic;
+    // For the exhaustion snapshot's reduction counters: the totals as
+    // of the last level boundary, and whether the final level lost
+    // work (was cut mid-level), which decides which boundary the
+    // rollback lands on.
+    let mut stats_before_level = total_stats;
+    let mut level_lost_work = false;
     let expand_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreExpand);
     while !frontier.is_empty() && !shared.stop.load(Ordering::Relaxed) {
         let cursor = AtomicUsize::new(0);
+        stats_before_level = total_stats;
+        let pending_before = pending.len();
         // With POR on, snapshot each shard's arena length before the
         // level runs: the cycle proviso asks "was this successor
         // interned before the current level began?", and the snapshot
@@ -1347,29 +1944,70 @@ fn explore_parallel_impl(
                 shared
                     .shards
                     .iter()
-                    .map(|m| m.lock().unwrap().arena.len())
+                    .map(|m| lock(m).arena.len())
                     .collect()
             });
-        let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+        // Each worker owns its output and reports whether it panicked;
+        // a panic destroys neither the output accumulated so far nor
+        // the run. `AssertUnwindSafe` is justified because the repair
+        // below rolls the output back to the claim mark and the shard
+        // critical sections never expose partial insertions.
+        let outs: Vec<(WorkerOut, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..alive)
                 .map(|_| {
-                    scope.spawn(|| match prepared {
-                        Some(red) => run_worker_reduced(
-                            &shared,
-                            &compiled,
-                            &frontier,
-                            &cursor,
-                            red,
-                            bounds.as_deref(),
-                        ),
-                        None => run_worker(&shared, &compiled, &frontier, &cursor),
+                    let shared = &shared;
+                    let compiled = &compiled;
+                    let frontier = &frontier;
+                    let cursor = &cursor;
+                    let bounds = bounds.as_deref();
+                    scope.spawn(move || {
+                        let mut out = WorkerOut::default();
+                        let body = std::panic::AssertUnwindSafe(|| match prepared {
+                            Some(red) => run_worker_reduced(
+                                shared, compiled, frontier, cursor, red, bounds,
+                                &mut out, fault,
+                            ),
+                            None => run_worker(
+                                shared, compiled, frontier, cursor, &mut out, fault,
+                            ),
+                        });
+                        let panicked = std::panic::catch_unwind(body).is_err();
+                        (out, panicked)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| (WorkerOut::default(), true)))
+                .collect()
         });
         let mut next: Vec<Pid> = Vec::new();
-        for (worker, out) in outs.into_iter().enumerate() {
+        let mut makeup: Vec<Pid> = Vec::new();
+        let mut failures = 0usize;
+        for (worker, (mut out, panicked)) in outs.into_iter().enumerate() {
+            if panicked {
+                failures += 1;
+                // Repair: the half-recorded expansion rolls back to
+                // the claim mark (edges truncated, reduction counters
+                // restored) and the parent is re-queued. Children it
+                // already interned stay in the shards — the make-up
+                // expansion re-records their edges, and `is_new` is
+                // false the second time, so nothing double-counts.
+                let mut requeued = 0u64;
+                if let Some((parent, edges_mark, stats_mark)) = out.current.take() {
+                    out.edges.truncate(edges_mark);
+                    out.stats = stats_mark;
+                    makeup.push(parent);
+                    requeued = 1;
+                }
+                if observe {
+                    budget.recorder.record(&Event::WorkerFailure {
+                        worker,
+                        level,
+                        requeued,
+                    });
+                }
+            }
             if observe {
                 budget.recorder.record(&Event::WorkerLevel {
                     worker,
@@ -1385,17 +2023,86 @@ fn explore_parallel_impl(
             next.extend(out.next);
             pending.extend(out.interrupted);
         }
-        // Frontier entries never claimed before the stop flag rose.
+        // Frontier entries never claimed before the level ended: on a
+        // budget stop they are honestly-pending frontier, but when a
+        // worker died *without* the stop flag they are work the dead
+        // worker would have claimed — they must be made up now, or the
+        // run would report Complete while silently dropping states.
         let claimed = cursor.load(Ordering::Relaxed).min(frontier.len());
-        pending.extend(&frontier[claimed..]);
+        if shared.stop.load(Ordering::Relaxed) {
+            pending.extend(&frontier[claimed..]);
+            pending.append(&mut makeup);
+        } else if failures > 0 {
+            makeup.extend_from_slice(&frontier[claimed..]);
+        }
+        if !makeup.is_empty() {
+            // Make-up pass: the coordinator re-expands the dead
+            // workers' lost claims itself (same level, same proviso
+            // bounds, no fault injection), so the level still closes
+            // complete.
+            let mk_cursor = AtomicUsize::new(0);
+            let mut out = WorkerOut::default();
+            match prepared {
+                Some(red) => run_worker_reduced(
+                    &shared, &compiled, &makeup, &mk_cursor, red, bounds.as_deref(),
+                    &mut out, None,
+                ),
+                None => run_worker(&shared, &compiled, &makeup, &mk_cursor, &mut out, None),
+            }
+            let done = mk_cursor.load(Ordering::Relaxed).min(makeup.len());
+            pending.extend(&makeup[done..]);
+            total_stats.absorb(&out.stats);
+            if !out.edges.is_empty() {
+                all_edges.push(out.edges);
+            }
+            next.extend(out.next);
+            pending.extend(out.interrupted);
+        }
+        if failures > 0 {
+            alive = alive.saturating_sub(failures).max(1);
+            fault = None;
+        }
+        level_lost_work = pending.len() > pending_before;
         frontier = next;
         if observe {
             meter.emit_progress(Some(frontier.len() as u64), Some(level), None);
         }
         level += 1;
+        if ck.due(claimed as u64) && !shared.stop.load(Ordering::Relaxed) {
+            // Periodic checkpoint at the level boundary: replay the
+            // records into canonical form — the just-formed next
+            // frontier is the canonical arena's tail there, which is
+            // exactly the cut the resume paths expect.
+            let arena_lens: Vec<usize> =
+                shared.shards.iter().map(|m| lock(m).arena.len()).collect();
+            let replay =
+                replay_records(&arena_lens, |p| shared.state_of(p).0, &all_edges, &init_pids);
+            let frontier_ids: Vec<usize> = frontier
+                .iter()
+                .filter_map(|&p| {
+                    let c = replay.canon[shard_of(p)][local_of(p)];
+                    (c != u32::MAX).then_some(c as usize)
+                })
+                .collect();
+            let snap = checkpoint::capture(
+                &replay.states,
+                &replay.init,
+                &replay.edges,
+                &replay.parents,
+                replay.states.len(),
+                &frontier_ids,
+                options.mode,
+                prepared.is_some(),
+                sys_hash,
+                options.fp_bits.clamp(1, 64),
+                0,
+                prepared.map(|_| total_stats),
+            );
+            ck.write(snap, &budget.recorder);
+        }
     }
     drop(expand_phase);
-    if let Some(e) = shared.error.lock().unwrap().take() {
+    if let Some(e) = lock(&shared.error).take() {
         return Err(e);
     }
     // A level discovered but never entered (stop rose between levels).
@@ -1406,84 +2113,78 @@ fn explore_parallel_impl(
     let ParShared { shards, reason, .. } = shared;
     let shards: Vec<Shard> = shards
         .into_iter()
-        .map(|m| m.into_inner().unwrap())
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
+    let reason = reason.into_inner().unwrap_or_else(PoisonError::into_inner);
 
     let renumber_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreRenumber);
-    // ---- canonical renumbering --------------------------------------
-    // Replay the BFS sequentially over the recorded edge runs.
-    // Discovery order — init enumeration order, then children in
-    // (parent BFS order × action order) — is exactly the sequential
-    // engine's order, so ids, edges, parents, and traces coincide.
-    //
-    // Index each parent's run first: `edge_index[shard][local]` is
-    // `(which vector, start, length)`, `u32::MAX` marking "no edges".
-    // Every interned state has a recorded incoming edge (interning and
-    // edge-recording are adjacent and uninterruptible in the worker) or
-    // is initial, so this replay reaches every interned state.
-    const NO_RUN: (u32, u32, u32) = (u32::MAX, 0, 0);
-    let mut edge_index: Vec<Vec<(u32, u32, u32)>> = shards
-        .iter()
-        .map(|sh| vec![NO_RUN; sh.arena.len()])
-        .collect();
-    for (vi, recs) in all_edges.iter().enumerate() {
-        let mut i = 0;
-        while i < recs.len() {
-            let parent = recs[i].0;
-            let mut j = i + 1;
-            while j < recs.len() && recs[j].0 == parent {
-                j += 1;
-            }
-            edge_index[shard_of(parent)][local_of(parent)] =
-                (vi as u32, i as u32, (j - i) as u32);
-            i = j;
-        }
-    }
+    let arena_lens: Vec<usize> = shards.iter().map(|sh| sh.arena.len()).collect();
+    let replay = replay_records(
+        &arena_lens,
+        |p| shards[shard_of(p)].arena[local_of(p)].clone(),
+        &all_edges,
+        &init_pids,
+    );
+    let Replay {
+        canon,
+        states,
+        edges,
+        parents,
+        init,
+        depth,
+    } = replay;
 
-    let mut canon: Vec<Vec<u32>> = shards
-        .iter()
-        .map(|sh| vec![u32::MAX; sh.arena.len()])
-        .collect();
-    let mut states: Vec<State> = Vec::new();
-    let mut edges: Vec<Vec<Edge>> = Vec::new();
-    let mut parents: Vec<Option<(usize, usize)>> = Vec::new();
-    let mut init: Vec<usize> = Vec::new();
-    let mut queue = std::collections::VecDeque::new();
-    for &p in &init_pids {
-        let id = states.len();
-        canon[shard_of(p)][local_of(p)] = id as u32;
-        states.push(shards[shard_of(p)].arena[local_of(p)].clone());
-        edges.push(Vec::new());
-        parents.push(None);
-        init.push(id);
-        queue.push_back(p);
-    }
-    while let Some(p) = queue.pop_front() {
-        let id = canon[shard_of(p)][local_of(p)] as usize;
-        let (vi, start, len) = edge_index[shard_of(p)][local_of(p)];
-        if vi == u32::MAX {
-            continue;
-        }
-        let run = &all_edges[vi as usize][start as usize..(start + len) as usize];
-        for &(_, action, child) in run {
-            let slot = &mut canon[shard_of(child)][local_of(child)];
-            let target = if *slot == u32::MAX {
-                let nid = states.len();
-                *slot = nid as u32;
-                states.push(shards[shard_of(child)].arena[local_of(child)].clone());
-                edges.push(Vec::new());
-                parents.push(Some((id, action as usize)));
-                queue.push_back(child);
-                nid
-            } else {
-                *slot as usize
+    // On a resumable exhaustion, roll the canonical graph back to the
+    // deepest consistent level boundary and snapshot it. The cut level
+    // L is the shallowest pending state's BFS depth: everything above
+    // L is fully expanded, everything below L is partial work redone
+    // on resume (bounded by one level), and the frontier is *all* of
+    // level L — replay depth is non-decreasing in canonical id order,
+    // so the frontier is an id range and lands on the arena's tail.
+    let (snapshot, resume_token) = match reason {
+        Some(_) if !exhausted_in_init => {
+            let cut = pending
+                .iter()
+                .filter_map(|&p| {
+                    let c = canon[shard_of(p)][local_of(p)];
+                    (c != u32::MAX).then(|| depth[c as usize])
+                })
+                .min();
+            let (keep, frontier_ids) = match cut {
+                None => (states.len(), Vec::new()),
+                Some(l) => {
+                    let keep = depth.partition_point(|&d| d <= l);
+                    let first = depth.partition_point(|&d| d < l);
+                    (keep, (first..keep).collect())
+                }
             };
-            edges[id].push(Edge {
-                action: action as usize,
-                target,
+            // If the final level was cut mid-way, the rollback lands
+            // on the boundary *before* it — whose reduction counters
+            // are the pre-level totals; otherwise the totals stand.
+            let red_stats = prepared.map(|_| {
+                if level_lost_work {
+                    stats_before_level
+                } else {
+                    total_stats
+                }
             });
+            seq_exhaustion_snapshot(
+                &mut ck,
+                budget,
+                &states,
+                &init,
+                &edges,
+                &parents,
+                keep,
+                &frontier_ids,
+                options,
+                prepared.is_some(),
+                sys_hash,
+                red_stats,
+            )
         }
-    }
+        _ => (None, None),
+    };
 
     // The final visited set comes straight from the shard key maps,
     // remapped through `canon` — no state is rehashed.
@@ -1532,7 +2233,6 @@ fn explore_parallel_impl(
     };
     drop(renumber_phase);
 
-    let reason = reason.into_inner().unwrap();
     let outcome = match reason {
         None => Outcome::Complete,
         Some(reason) => Outcome::Exhausted {
@@ -1543,11 +2243,19 @@ fn explore_parallel_impl(
                 pending.len()
             },
             stats: graph.stats(),
+            resume: resume_token,
         },
     };
+    // A pending pid can be unreachable in the replay (its recording
+    // worker died mid-expansion and the run then stopped before the
+    // make-up re-recorded it); such orphans are simply not part of the
+    // canonical graph, so they cannot be listed on its frontier.
     let mut frontier: Vec<usize> = pending
         .iter()
-        .map(|&p| canon[shard_of(p)][local_of(p)] as usize)
+        .filter_map(|&p| {
+            let c = canon[shard_of(p)][local_of(p)];
+            (c != u32::MAX).then_some(c as usize)
+        })
         .collect();
     frontier.sort_unstable();
     frontier.dedup();
@@ -1556,6 +2264,7 @@ fn explore_parallel_impl(
         outcome,
         frontier,
         reduction: prepared.map(|_| total_stats),
+        snapshot,
     })
 }
 
@@ -1568,15 +2277,21 @@ fn explore_parallel_impl(
 /// Interning a child and recording its edge are adjacent — nothing can
 /// interrupt between them — which is what guarantees the renumbering
 /// pass reaches every interned state.
+///
+/// Output accumulates into `out`, which the *caller* owns: if this
+/// worker panics (`fault` injects one deterministically for testing),
+/// the coordinator repairs `out` from its `current` claim mark instead
+/// of losing the level.
 fn run_worker(
     shared: &ParShared<'_>,
     compiled: &CompiledSystem<'_>,
     frontier: &[Pid],
     cursor: &AtomicUsize,
-) -> WorkerOut {
+    out: &mut WorkerOut,
+    fault: Option<WorkerPanic>,
+) {
     use std::ops::ControlFlow;
 
-    let mut out = WorkerOut::default();
     let mut scratch = EvalScratch::new();
     loop {
         if shared.stop.load(Ordering::Relaxed) {
@@ -1591,6 +2306,10 @@ fn run_worker(
             break;
         };
         out.claimed += 1;
+        out.current = Some((parent, out.edges.len(), out.stats));
+        let armed = fault.is_some_and(|f| {
+            shared.fault_claims.fetch_add(1, Ordering::Relaxed) >= f.after_claims
+        });
         let (s, s_fp) = shared.state_of(parent);
         let result = compiled.for_each_successor(&s, &mut scratch, |action, assignments| {
             if let Some(reason) = shared.meter.charge_transition() {
@@ -1605,6 +2324,9 @@ fn run_worker(
                         out.next.push(child);
                     }
                     out.edges.push((parent, action as u32, child));
+                    if armed && !shared.fault_fired.swap(true, Ordering::Relaxed) {
+                        panic!("injected worker panic");
+                    }
                     ControlFlow::Continue(())
                 }
                 Err(reason) => {
@@ -1614,6 +2336,7 @@ fn run_worker(
                 }
             }
         });
+        out.current = None;
         match result {
             Ok(None) => {}
             Ok(Some(())) => break,
@@ -1623,7 +2346,6 @@ fn run_worker(
             }
         }
     }
-    out
 }
 
 /// The reduced worker: like [`run_worker`], but every successor is
@@ -1633,6 +2355,7 @@ fn run_worker(
 /// unless the cycle proviso forces full expansion. Successors are
 /// buffered per parent because the ample choice needs the full enabled
 /// set before any edge is committed.
+#[allow(clippy::too_many_arguments)]
 fn run_worker_reduced(
     shared: &ParShared<'_>,
     compiled: &CompiledSystem<'_>,
@@ -1640,10 +2363,11 @@ fn run_worker_reduced(
     cursor: &AtomicUsize,
     red: &PreparedReduction,
     bounds: Option<&[usize]>,
-) -> WorkerOut {
+    out: &mut WorkerOut,
+    fault: Option<WorkerPanic>,
+) {
     use std::ops::ControlFlow;
 
-    let mut out = WorkerOut::default();
     let mut scratch = EvalScratch::new();
     let mut succ: Vec<(usize, State)> = Vec::new();
     let mut ample_scratch = AmpleScratch::default();
@@ -1660,6 +2384,10 @@ fn run_worker_reduced(
             break;
         };
         out.claimed += 1;
+        out.current = Some((parent, out.edges.len(), out.stats));
+        let armed = fault.is_some_and(|f| {
+            shared.fault_claims.fetch_add(1, Ordering::Relaxed) >= f.after_claims
+        });
         let (s, _) = shared.state_of(parent);
         succ.clear();
         let result = compiled.for_each_successor(&s, &mut scratch, |action, assignments| {
@@ -1678,6 +2406,7 @@ fn run_worker_reduced(
             ControlFlow::<std::convert::Infallible>::Continue(())
         });
         if let Err(e) = result {
+            out.current = None;
             shared.note_error(e);
             break;
         }
@@ -1705,6 +2434,7 @@ fn run_worker_reduced(
             if let Some(reason) = shared.meter.charge_transition() {
                 shared.note_exhaustion(reason);
                 out.interrupted.push(parent);
+                out.current = None;
                 break 'level;
             }
             let child_fp = child.fingerprint();
@@ -1714,16 +2444,20 @@ fn run_worker_reduced(
                         out.next.push(cp);
                     }
                     out.edges.push((parent, action as u32, cp));
+                    if armed && !shared.fault_fired.swap(true, Ordering::Relaxed) {
+                        panic!("injected worker panic");
+                    }
                 }
                 Err(reason) => {
                     shared.note_exhaustion(reason);
                     out.interrupted.push(parent);
+                    out.current = None;
                     break 'level;
                 }
             }
         }
+        out.current = None;
     }
-    out
 }
 
 #[cfg(test)]
@@ -1865,6 +2599,7 @@ mod tests {
                 reason,
                 frontier_size,
                 stats,
+                ..
             } => {
                 assert_eq!(*reason, ExhaustReason::StateLimit { limit: 3 });
                 assert_eq!(*frontier_size, run.frontier.len());

@@ -29,6 +29,12 @@
 //!   transitions, wall-clock, or a cancellation flag run out, returning
 //!   partial results instead of an error, with [`escalate`] for
 //!   geometric-retry loops;
+//! * [`Snapshot`] / [`explore_resumable`] — crash tolerance: budgeted
+//!   runs periodically checkpoint their resumable core to a versioned,
+//!   checksummed on-disk snapshot ([`Budget::with_checkpoint`]) and
+//!   resume from the preserved frontier instead of restarting, with
+//!   panic-isolated parallel workers degrading gracefully instead of
+//!   aborting the run;
 //! * [`obs`] — the observability layer: structured run events, live
 //!   progress metrics, and exportable schema-versioned [`RunReport`]s
 //!   from every engine, routed by `OPENTLA_OBS=/path.jsonl` or an
@@ -56,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod checkpoint;
 mod compiled;
 mod counterexample;
 mod error;
@@ -70,6 +77,10 @@ mod simulate;
 mod system;
 
 pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
+pub use checkpoint::{
+    CheckpointError, CheckpointSpec, ResumeToken, Snapshot, DEFAULT_CHECKPOINT_CADENCE,
+    SNAPSHOT_VERSION,
+};
 pub use obs::{
     CountingRecorder, Event, JsonlRecorder, NullRecorder, Phase, ProgressSnapshot,
     Recorder, RecorderHandle, RunReport,
@@ -78,9 +89,9 @@ pub use compiled::{CompiledExpr, CompiledSystem, EvalScratch};
 pub use counterexample::Counterexample;
 pub use error::CheckError;
 pub use explore::{
-    explore, explore_governed, explore_governed_with, explore_parallel,
-    explore_parallel_governed, Edge, Exploration, ExploreOptions, GraphStats, StateGraph,
-    VisitedMode,
+    explore, explore_escalating, explore_governed, explore_governed_with,
+    explore_parallel, explore_parallel_governed, explore_resumable, resume_exploration,
+    Edge, Exploration, ExploreOptions, GraphStats, StateGraph, VisitedMode, WorkerPanic,
 };
 pub use invariant::{check_invariant, check_step_invariant};
 pub use reduction::{

@@ -351,6 +351,7 @@ pub fn check_liveness_governed(
                 reason,
                 frontier_size: pending,
                 stats: graph.stats(),
+                resume: None,
             },
         }),
         Err(Stop::Error(e)) => Err(e),

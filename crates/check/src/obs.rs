@@ -286,6 +286,40 @@ pub enum Event<'a> {
         /// Generated successors changed by symmetry canonicalization.
         canon_hits: u64,
     },
+    /// A resumable snapshot was written (see
+    /// [`Budget::with_checkpoint`](crate::Budget::with_checkpoint)).
+    Checkpoint {
+        /// Sequence number of the snapshot within this run.
+        seq: u64,
+        /// States banked in the snapshot.
+        states: u64,
+        /// Transitions banked in the snapshot.
+        transitions: u64,
+        /// Discovered-but-unexpanded states awaiting resume.
+        frontier: u64,
+    },
+    /// A parallel worker panicked; its in-flight work was re-queued
+    /// and the run continued degraded on the surviving workers.
+    WorkerFailure {
+        /// Worker index that died.
+        worker: usize,
+        /// BFS level being processed when it died.
+        level: u64,
+        /// Frontier entries re-queued for make-up expansion.
+        requeued: u64,
+    },
+    /// An exploration resumed from an on-disk snapshot instead of
+    /// restarting.
+    Resume {
+        /// Sequence number of the snapshot resumed from.
+        seq: u64,
+        /// States restored from the snapshot.
+        states: u64,
+        /// Transitions restored from the snapshot.
+        transitions: u64,
+        /// Frontier states awaiting expansion.
+        frontier: u64,
+    },
     /// The engine run ended; carries the full report.
     RunEnd {
         /// The final report.
@@ -306,6 +340,9 @@ impl Event<'_> {
             Event::Counterexample { .. } => "counterexample",
             Event::Check { .. } => "check",
             Event::Reduction { .. } => "reduction",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::WorkerFailure { .. } => "worker_failure",
+            Event::Resume { .. } => "resume",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -367,6 +404,9 @@ pub struct CountingRecorder {
     counterexamples: AtomicU64,
     checks: AtomicU64,
     reductions: AtomicU64,
+    checkpoints: AtomicU64,
+    worker_failures: AtomicU64,
+    resumes: AtomicU64,
     /// Ample/full/skipped/canon totals of the most recent reduction
     /// event.
     red_ample_states: AtomicU64,
@@ -403,6 +443,9 @@ impl CountingRecorder {
             counterexamples: AtomicU64::new(0),
             checks: AtomicU64::new(0),
             reductions: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            worker_failures: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
             red_ample_states: AtomicU64::new(0),
             red_full_states: AtomicU64::new(0),
             red_skipped_transitions: AtomicU64::new(0),
@@ -462,6 +505,21 @@ impl CountingRecorder {
     /// Reduction events recorded.
     pub fn reductions(&self) -> u64 {
         self.reductions.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint snapshots recorded.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Worker failures recorded.
+    pub fn worker_failures(&self) -> u64 {
+        self.worker_failures.load(Ordering::Relaxed)
+    }
+
+    /// Resume events recorded.
+    pub fn resumes(&self) -> u64 {
+        self.resumes.load(Ordering::Relaxed)
     }
 
     /// `(ample_states, full_states, skipped_transitions, canon_hits)`
@@ -538,6 +596,15 @@ impl Recorder for CountingRecorder {
                 self.red_skipped_transitions
                     .store(*skipped_transitions, Ordering::Relaxed);
                 self.red_canon_hits.store(*canon_hits, Ordering::Relaxed);
+            }
+            Event::Checkpoint { .. } => {
+                self.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WorkerFailure { .. } => {
+                self.worker_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Resume { .. } => {
+                self.resumes.fetch_add(1, Ordering::Relaxed);
             }
             Event::PhaseEnter { phase } => {
                 self.phase_entered[phase.index()]
@@ -727,6 +794,32 @@ impl Recorder for JsonlRecorder {
                     ",\"ample_states\":{ample_states},\"full_states\":{full_states},\
                      \"skipped_transitions\":{skipped_transitions},\
                      \"canon_hits\":{canon_hits}"
+                ));
+            }
+            Event::Checkpoint {
+                seq,
+                states,
+                transitions,
+                frontier,
+            }
+            | Event::Resume {
+                seq,
+                states,
+                transitions,
+                frontier,
+            } => {
+                body.push_str(&format!(
+                    ",\"seq\":{seq},\"states\":{states},\
+                     \"transitions\":{transitions},\"frontier\":{frontier}"
+                ));
+            }
+            Event::WorkerFailure {
+                worker,
+                level,
+                requeued,
+            } => {
+                body.push_str(&format!(
+                    ",\"worker\":{worker},\"level\":{level},\"requeued\":{requeued}"
                 ));
             }
             Event::RunEnd { report } => {
@@ -1355,6 +1448,17 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 req_u64(&obj, "full_states", line)?;
                 req_u64(&obj, "skipped_transitions", line)?;
                 req_u64(&obj, "canon_hits", line)?;
+            }
+            "checkpoint" | "resume" => {
+                req_u64(&obj, "seq", line)?;
+                req_u64(&obj, "states", line)?;
+                req_u64(&obj, "transitions", line)?;
+                req_u64(&obj, "frontier", line)?;
+            }
+            "worker_failure" => {
+                req_u64(&obj, "worker", line)?;
+                req_u64(&obj, "level", line)?;
+                req_u64(&obj, "requeued", line)?;
             }
             other => return Err(format!("line {line}: unknown event kind \"{other}\"")),
         }

@@ -129,6 +129,7 @@ pub fn check_simulation_governed(
             reason,
             frontier_size: pending,
             stats: graph.stats(),
+            resume: None,
         },
     };
     let violated = |cx: Counterexample, edges: usize| {

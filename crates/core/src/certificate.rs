@@ -258,6 +258,7 @@ mod tests {
                 deadlocks: 0,
                 depth: 1,
             },
+            resume: None,
         };
         let cert = Certificate {
             rule: "Composition Theorem".into(),

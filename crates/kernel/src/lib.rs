@@ -11,6 +11,8 @@
 //! * [`VarId`] / [`Vars`] — interned flexible variables with optional
 //!   finite [`Domain`]s;
 //! * [`State`] — an assignment of values to variables;
+//! * [`codec`] — the canonical binary encoding of values and states
+//!   (what the checker's checkpoint snapshots persist);
 //! * [`Expr`] — state functions and actions (expressions over primed and
 //!   unprimed variables);
 //! * [`Formula`] — the temporal formula AST, including the paper's
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod codec;
 mod error;
 mod expr;
 mod footprint;

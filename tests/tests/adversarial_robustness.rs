@@ -145,6 +145,7 @@ fn governed_exploration_of_a_faulted_system_degrades_gracefully() {
             reason,
             frontier_size,
             stats,
+            ..
         } => {
             assert_eq!(stats.states, 3);
             assert!(*frontier_size > 0, "work must remain");

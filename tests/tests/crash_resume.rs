@@ -1,0 +1,533 @@
+//! Crash-tolerance end-to-end: interrupt/resume byte-identity across
+//! every engine configuration, snapshot save→load round trips,
+//! typed errors for corrupted or mismatched snapshots, panic-isolated
+//! parallel workers, and frontier-preserving escalation whose total
+//! work is O(final state space).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use opentla_check::{
+    explore_escalating, explore_governed_with, explore_resumable, resume_exploration,
+    Budget, CheckError, CheckpointError, CountingRecorder, Exploration, ExploreOptions,
+    GuardedAction, Init, Outcome, RecorderHandle, Reduction, Snapshot, StateGraph,
+    System, VisitedMode, WorkerPanic,
+};
+use opentla_kernel::{Domain, Expr, Value, VarId, Vars};
+use opentla_queue::{FairnessStyle, QueueChain};
+use opentla_scenarios::{AlternatingBit, ArbiterFairness, Mutex, TokenRing};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A unique throwaway snapshot path (tests run in parallel; the
+/// process id plus a counter keeps them from clobbering each other).
+fn snap_path(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "opentla_crash_resume_{}_{tag}_{n}.snap",
+        std::process::id()
+    ))
+}
+
+/// Byte-for-byte graph equality: statistics, state arena order,
+/// initial states, edges, and the BFS tree.
+fn assert_identical(label: &str, a: &StateGraph, b: &StateGraph) {
+    assert_eq!(a.stats(), b.stats(), "{label}: stats differ");
+    assert_eq!(a.states(), b.states(), "{label}: state order differs");
+    assert_eq!(a.init(), b.init(), "{label}: initial states differ");
+    for id in 0..a.len() {
+        assert_eq!(a.edges(id), b.edges(id), "{label}: edges of {id} differ");
+        assert_eq!(
+            a.trace_to(id),
+            b.trace_to(id),
+            "{label}: shortest trace to {id} differs"
+        );
+    }
+}
+
+fn options(
+    threads: usize,
+    mode: VisitedMode,
+    reduction: Reduction,
+    fp_bits: u32,
+) -> ExploreOptions {
+    ExploreOptions {
+        threads: Some(threads),
+        mode,
+        reduction,
+        fp_bits,
+        ..ExploreOptions::default()
+    }
+}
+
+fn run_unlimited(system: &System, opts: &ExploreOptions) -> Exploration {
+    let run = explore_governed_with(system, &Budget::unlimited(), opts)
+        .expect("exploration succeeds");
+    assert!(matches!(run.outcome, Outcome::Complete));
+    run
+}
+
+/// POR over the system's first variable as the observable set — enough
+/// to make the ample machinery genuinely fire.
+fn por_on_first_var(system: &System) -> Reduction {
+    let v0 = system.vars().iter().next().expect("system has variables");
+    Reduction::none().with_por(Expr::var(v0).eq(Expr::int(0)).unprimed_vars())
+}
+
+fn scenarios() -> Vec<(&'static str, System)> {
+    vec![
+        ("abp", AlternatingBit::new(2).complete_system().unwrap()),
+        ("ring", TokenRing::new(3).complete_system().unwrap()),
+        (
+            "mutex",
+            Mutex::with_clients(3, ArbiterFairness::Weak).product().unwrap(),
+        ),
+        (
+            "chain2",
+            QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+                .complete_system()
+                .unwrap(),
+        ),
+    ]
+}
+
+/// The core round trip, one configuration: explore uninterrupted as
+/// the reference; explore again under a budget that exhausts mid-run
+/// with checkpointing on; then resume from the on-disk snapshot with
+/// the budget lifted. The resumed graph must be byte-identical to the
+/// uninterrupted one — states, edges, traces, everything.
+fn interrupt_and_resume(label: &str, system: &System, opts: &ExploreOptions) {
+    let reference = run_unlimited(system, opts);
+    let total = reference.graph.len();
+    let path = snap_path("matrix");
+
+    let cut = (total * 2 / 5).max(2);
+    let interrupted = explore_resumable(
+        system,
+        &Budget::default().states(cut).with_checkpoint(&path, 16),
+        opts,
+    )
+    .expect("interrupted run still succeeds");
+    let token = interrupted
+        .outcome
+        .resume_token()
+        .unwrap_or_else(|| panic!("{label}: exhausted run must leave a resume token"))
+        .clone();
+    assert_eq!(token.path, path, "{label}: token points at the spec path");
+    assert!(path.exists(), "{label}: snapshot file must exist");
+
+    // Resume from disk: the same call, bigger budget.
+    let recorder = Arc::new(CountingRecorder::new());
+    let resumed = explore_resumable(
+        system,
+        &Budget::unlimited()
+            .with_checkpoint(&path, 1 << 20)
+            .with_recorder(RecorderHandle::new(recorder.clone())),
+        opts,
+    )
+    .expect("resumed run succeeds");
+    assert!(
+        matches!(resumed.outcome, Outcome::Complete),
+        "{label}: resumed run must complete"
+    );
+    assert_eq!(recorder.resumes(), 1, "{label}: resume event must be emitted");
+    assert_identical(label, &reference.graph, &resumed.graph);
+    assert_eq!(
+        reference.reduction, resumed.reduction,
+        "{label}: reduction stats must survive the round trip"
+    );
+
+    // Resume from the in-memory snapshot too — same result.
+    let snap = interrupted.snapshot.as_deref().expect("in-memory snapshot");
+    let resumed_mem = resume_exploration(system, &Budget::unlimited(), opts, snap)
+        .expect("in-memory resume succeeds");
+    assert_identical(&format!("{label}/mem"), &reference.graph, &resumed_mem.graph);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interrupt_resume_identity_unreduced() {
+    for (name, system) in &scenarios() {
+        for mode in [VisitedMode::Fingerprint, VisitedMode::Exact] {
+            for threads in [1usize, 2, 4] {
+                let label = format!("{name}/none/{mode:?}/threads={threads}");
+                interrupt_and_resume(
+                    &label,
+                    system,
+                    &options(threads, mode, Reduction::none(), 64),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interrupt_resume_identity_reduced() {
+    for (name, system) in &scenarios() {
+        let por = por_on_first_var(system);
+        for mode in [VisitedMode::Fingerprint, VisitedMode::Exact] {
+            for threads in [1usize, 2, 4] {
+                let label = format!("{name}/por/{mode:?}/threads={threads}");
+                interrupt_and_resume(&label, system, &options(threads, mode, por.clone(), 64));
+            }
+        }
+    }
+}
+
+/// The collision knob is pinned in the snapshot header: a resumed
+/// collision-forcing run reproduces the uninterrupted collision-forcing
+/// run exactly (first-id-wins conflation and all).
+#[test]
+fn interrupt_resume_identity_with_forced_collisions() {
+    let system = QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    for threads in [1usize, 2] {
+        let label = format!("chain2/fp12/threads={threads}");
+        interrupt_and_resume(
+            &label,
+            &system,
+            &options(threads, VisitedMode::Fingerprint, Reduction::none(), 12),
+        );
+    }
+}
+
+/// Golden chain4 through a parallel interrupt: exhaust a 2-thread run
+/// at 20 000 states, resume with 4 threads, and land exactly on the
+/// pre-reduction golden numbers.
+#[test]
+fn golden_chain4_survives_parallel_interrupt_and_thread_change() {
+    let system = QueueChain::new(4, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let path = snap_path("chain4");
+    let opts2 = options(2, VisitedMode::Fingerprint, Reduction::none(), 64);
+    let interrupted = explore_resumable(
+        &system,
+        &Budget::default().states(20_000).with_checkpoint(&path, 4096),
+        &opts2,
+    )
+    .unwrap();
+    assert!(interrupted.outcome.resume_token().is_some());
+
+    // Thread count is not pinned: resume the 2-thread snapshot with 4.
+    let opts4 = options(4, VisitedMode::Fingerprint, Reduction::none(), 64);
+    let resumed = explore_resumable(
+        &system,
+        &Budget::unlimited().with_checkpoint(&path, 1 << 20),
+        &opts4,
+    )
+    .unwrap();
+    assert!(matches!(resumed.outcome, Outcome::Complete));
+    let stats = resumed.graph.stats();
+    assert_eq!(stats.states, 54358, "chain4 state count regressed");
+    assert_eq!(stats.transitions, 164736, "chain4 transition count regressed");
+    assert_eq!(stats.depth, 55, "chain4 BFS depth regressed");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Corruption and mismatch: typed errors, never panics or wrong graphs
+// ---------------------------------------------------------------------
+
+/// Produces a real snapshot file to corrupt.
+fn write_sample_snapshot(tag: &str) -> (System, PathBuf) {
+    let system = QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let path = snap_path(tag);
+    let run = explore_resumable(
+        &system,
+        &Budget::default().states(50).with_checkpoint(&path, 8),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(run.outcome.resume_token().is_some());
+    assert!(path.exists());
+    (system, path)
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_error_not_a_panic() {
+    let (system, path) = write_sample_snapshot("corrupt");
+    let original = std::fs::read(&path).unwrap();
+
+    // Flip a byte in the middle of the body.
+    let mut flipped = original.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        Snapshot::load(&path),
+        Err(CheckpointError::ChecksumMismatch)
+    ));
+    // ...and the typed error surfaces through the resume API.
+    let err = explore_resumable(
+        &system,
+        &Budget::unlimited().with_checkpoint(&path, 8),
+        &ExploreOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::Checkpoint(CheckpointError::ChecksumMismatch)
+    ));
+
+    // Truncate to half: checksum (or structure) cannot survive.
+    std::fs::write(&path, &original[..original.len() / 2]).unwrap();
+    match Snapshot::load(&path) {
+        Err(
+            CheckpointError::ChecksumMismatch
+            | CheckpointError::Corrupt { .. }
+            | CheckpointError::Io { .. },
+        ) => {}
+        other => panic!("truncated snapshot must fail typed, got {other:?}"),
+    }
+
+    // Not a snapshot at all.
+    std::fs::write(&path, b"definitely not a snapshot").unwrap();
+    assert!(matches!(Snapshot::load(&path), Err(CheckpointError::BadMagic)));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_snapshot_is_refused() {
+    let (system, path) = write_sample_snapshot("mismatch");
+    let snap = Snapshot::load(&path).unwrap();
+
+    // Different system.
+    let other = TokenRing::new(3).complete_system().unwrap();
+    let err = resume_exploration(&other, &Budget::unlimited(), &ExploreOptions::default(), &snap)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::Checkpoint(CheckpointError::Mismatch { .. })
+    ));
+
+    // Different fingerprint width, visited mode, or reduction activity.
+    for opts in [
+        options(1, VisitedMode::Fingerprint, Reduction::none(), 32),
+        options(1, VisitedMode::Exact, Reduction::none(), 64),
+        options(1, VisitedMode::Fingerprint, por_on_first_var(&system), 64),
+    ] {
+        let err = resume_exploration(&system, &Budget::unlimited(), &opts, &snap).unwrap_err();
+        assert!(
+            matches!(err, CheckError::Checkpoint(CheckpointError::Mismatch { .. })),
+            "resume under different configuration must be refused"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------
+
+/// An injected worker panic mid-expansion must not lose states, edges,
+/// or the run: the coordinator repairs the level, the run degrades to
+/// the surviving workers, and the final graph is byte-identical to the
+/// sequential one.
+#[test]
+fn worker_panic_degrades_gracefully_without_losing_states() {
+    for (name, system) in &scenarios() {
+        let reference = run_unlimited(
+            system,
+            &options(1, VisitedMode::Fingerprint, Reduction::none(), 64),
+        );
+        for after_claims in [0u64, 5] {
+            let recorder = Arc::new(CountingRecorder::new());
+            let mut opts = options(4, VisitedMode::Fingerprint, Reduction::none(), 64);
+            opts.worker_panic = Some(WorkerPanic { after_claims });
+            let run = explore_governed_with(
+                system,
+                &Budget::unlimited().with_recorder(RecorderHandle::new(recorder.clone())),
+                &opts,
+            )
+            .expect("run survives the worker panic");
+            assert!(
+                matches!(run.outcome, Outcome::Complete),
+                "{name}: degraded run still completes"
+            );
+            assert_eq!(
+                recorder.worker_failures(),
+                1,
+                "{name}: exactly one worker failure is reported"
+            );
+            assert_identical(
+                &format!("{name}/panic-after-{after_claims}"),
+                &reference.graph,
+                &run.graph,
+            );
+        }
+    }
+}
+
+/// Panic isolation under reduction: the reduced worker's counters roll
+/// back to the claim mark, so the repaired run's reduction stats match
+/// the healthy run's.
+#[test]
+fn worker_panic_under_reduction_keeps_stats_consistent() {
+    let system = TokenRing::new(3).complete_system().unwrap();
+    let por = por_on_first_var(&system);
+    let reference = run_unlimited(&system, &options(1, VisitedMode::Fingerprint, por.clone(), 64));
+    let recorder = Arc::new(CountingRecorder::new());
+    let mut opts = options(3, VisitedMode::Fingerprint, por, 64);
+    opts.worker_panic = Some(WorkerPanic { after_claims: 1 });
+    let run = explore_governed_with(
+        &system,
+        &Budget::unlimited().with_recorder(RecorderHandle::new(recorder.clone())),
+        &opts,
+    )
+    .unwrap();
+    assert!(matches!(run.outcome, Outcome::Complete));
+    assert_eq!(recorder.worker_failures(), 1);
+    assert_identical("ring/panic-reduced", &reference.graph, &run.graph);
+    assert_eq!(
+        reference.reduction, run.reduction,
+        "reduction stats must not double-count the repaired expansion"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Frontier-preserving escalation
+// ---------------------------------------------------------------------
+
+/// Escalation resumes instead of restarting: the run completes, the
+/// graph is byte-identical to a direct run, every attempt banked the
+/// previous one's work (resume events fire), and — measured in
+/// checkpoint cadence units — the total work stays O(final state
+/// space) + one cadence per attempt, not O(attempts × state space).
+#[test]
+fn escalation_resumes_from_the_preserved_frontier() {
+    let system = QueueChain::new(3, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let opts = options(1, VisitedMode::Fingerprint, Reduction::none(), 64);
+    let reference = run_unlimited(&system, &opts);
+    let total = reference.graph.len();
+
+    const CADENCE: u64 = 64;
+    // Work meter for the uninterrupted run, in cadence units.
+    let direct_path = snap_path("esc-direct");
+    let direct_recorder = Arc::new(CountingRecorder::new());
+    let direct = explore_resumable(
+        &system,
+        &Budget::unlimited()
+            .with_checkpoint(&direct_path, CADENCE)
+            .with_recorder(RecorderHandle::new(direct_recorder.clone())),
+        &opts,
+    )
+    .unwrap();
+    assert!(matches!(direct.outcome, Outcome::Complete));
+    let direct_work = direct_recorder.checkpoints();
+    let _ = std::fs::remove_file(&direct_path);
+
+    let path = snap_path("escalate");
+    let recorder = Arc::new(CountingRecorder::new());
+    let attempts = 12usize;
+    let escalated = explore_escalating(
+        &system,
+        &Budget::default()
+            .states((total / 10).max(2))
+            .with_checkpoint(&path, CADENCE)
+            .with_recorder(RecorderHandle::new(recorder.clone())),
+        2,
+        attempts,
+        &opts,
+    )
+    .unwrap();
+    assert!(
+        matches!(escalated.outcome, Outcome::Complete),
+        "12 doublings from total/10 must complete"
+    );
+    assert_identical("escalate/chain3", &reference.graph, &escalated.graph);
+    assert!(
+        recorder.resumes() >= 2,
+        "attempts must resume, not restart (saw {} resumes)",
+        recorder.resumes()
+    );
+    // The regression: escalated work ≤ uninterrupted work + one
+    // cadence of slack per attempt. A restart-based escalation would
+    // blow through this bound by a factor of attempts.
+    assert!(
+        recorder.checkpoints() <= direct_work + attempts as u64,
+        "escalation re-did too much work: {} checkpoints vs {} direct + {} slack",
+        recorder.checkpoints(),
+        direct_work,
+        attempts
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Property-based round trip on random systems
+// ---------------------------------------------------------------------
+
+/// A random small boolean system, deterministic in `seed` (same
+/// construction as the reduction suite's).
+fn random_system(seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_vars = rng.gen_range(2..=4usize);
+    let mut vars = Vars::new();
+    let vs: Vec<VarId> = (0..n_vars)
+        .map(|i| vars.declare(format!("v{i}"), Domain::bits()))
+        .collect();
+    let n_actions = rng.gen_range(2..=5usize);
+    let actions: Vec<GuardedAction> = (0..n_actions)
+        .map(|a| {
+            let read = vs[rng.gen_range(0..n_vars)];
+            let write = vs[rng.gen_range(0..n_vars)];
+            let want = rng.gen_range(0..=1i64);
+            GuardedAction::new(
+                format!("a{a}"),
+                Expr::var(read).eq(Expr::int(want)),
+                vec![(write, Expr::int(1).sub(Expr::var(write)))],
+            )
+        })
+        .collect();
+    let init = Init::new(vs.iter().map(|v| (*v, Value::Int(0))));
+    System::new(vars, init, actions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint → serialize → load → resume yields a byte-identical
+    /// graph on random systems, across thread counts, visited modes,
+    /// and reduction activity.
+    #[test]
+    fn snapshot_round_trip_is_byte_identical(seed in any::<u64>()) {
+        let system = random_system(seed);
+        let threads = [1usize, 2, 4][(seed % 3) as usize];
+        let mode = if seed & 1 == 0 { VisitedMode::Fingerprint } else { VisitedMode::Exact };
+        let reduction = if seed & 2 == 0 { Reduction::none() } else { por_on_first_var(&system) };
+        let opts = options(threads, mode, reduction, 64);
+        let reference = run_unlimited(&system, &opts);
+        let total = reference.graph.len();
+        if total < 4 {
+            return Ok(()); // nothing to interrupt
+        }
+        let path = snap_path("prop");
+        let interrupted = explore_resumable(
+            &system,
+            &Budget::default().states(total / 2).with_checkpoint(&path, 4),
+            &opts,
+        ).unwrap();
+        if interrupted.outcome.resume_token().is_some() {
+            let resumed = explore_resumable(
+                &system,
+                &Budget::unlimited().with_checkpoint(&path, 1 << 20),
+                &opts,
+            ).unwrap();
+            prop_assert!(matches!(resumed.outcome, Outcome::Complete));
+            assert_identical(&format!("prop/{seed}"), &reference.graph, &resumed.graph);
+            prop_assert_eq!(reference.reduction, resumed.reduction);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

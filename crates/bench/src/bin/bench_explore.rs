@@ -1,7 +1,7 @@
 //! Records the exploration-engine benchmark trajectory:
 //! `BENCH_explore.json` at the repository root.
 //!
-//! Three engines run over the same scenario set:
+//! Four engines run over the same scenario set:
 //!
 //! * `seed` — a faithful reimplementation of the pre-optimization
 //!   sequential BFS: SipHash-keyed `HashMap<State, usize>` visited
@@ -9,13 +9,23 @@
 //!   state, tree-walking guard/update evaluation;
 //! * `seq_fp` — the current sequential engine: fingerprinted visited
 //!   set, compiled successor stepper, reused buffers;
-//! * `par_fp` — the parallel engine ([`opentla_check::explore_parallel`])
-//!   in fingerprint mode with the machine's available workers, the
-//!   canonical renumbering pass included in the measured time. (On a
-//!   single-hardware-thread machine this engine delegates to the
-//!   sequential implementation — one level-synchronous worker *is*
-//!   sequential BFS; the recorded `threads` field says which case a
-//!   given JSON captured.)
+//! * `par_fp` — the level-synchronous parallel engine
+//!   ([`opentla_check::explore_parallel`]) in fingerprint mode with
+//!   the machine's available workers, the canonical renumbering pass
+//!   included in the measured time. (On a single-hardware-thread
+//!   machine this engine delegates to the sequential implementation —
+//!   one level-synchronous worker *is* sequential BFS; each engine
+//!   entry's `workers` field says what a given JSON captured.)
+//! * `par_ws` — the work-stealing engine
+//!   ([`opentla_check::explore_parallel_ws`]): packed state layouts,
+//!   per-worker deques, no level barriers; its graph is asserted
+//!   byte-identical to `seq_fp`'s on every scenario.
+//!
+//! A thread-scaling curve (both parallel engines at 1/2/4/8 workers
+//! per scenario) lands in `BENCH_scaling.json`, and a work-stealing
+//! gate always measures the full chain4 at 4 workers: byte-identity
+//! always, and — with ≥ 2 hardware threads — `par_ws` ≥ 1.5× `seq_fp`
+//! and ≥ 1.8× `par_fp` at the same worker count.
 //!
 //! Every run cross-checks that all three engines agree on the state
 //! and transition counts (the fingerprint/parallel engines are exact
@@ -48,8 +58,8 @@ use fxhash::FxHashMap;
 use opentla_bench::ms;
 use opentla_check::{
     check_invariant, explore_governed_with, explore_parallel, explore_resumable, obs,
-    Budget, CheckError, CompiledSystem, EvalScratch, ExploreOptions, JsonlRecorder,
-    Meter, RecorderHandle, Reduction, StateGraph, System, VisitedMode,
+    Budget, CheckError, CompiledSystem, Engine, EvalScratch, ExploreOptions,
+    JsonlRecorder, Meter, RecorderHandle, Reduction, StateGraph, System, VisitedMode,
     DEFAULT_CHECKPOINT_CADENCE,
 };
 use opentla_kernel::Expr;
@@ -182,6 +192,26 @@ fn explore_null(
     let run = explore_governed_with(system, &budget, &opts).expect("explores");
     assert!(run.outcome.is_complete(), "scenario exceeds the state budget");
     run.graph
+}
+
+/// The work-stealing engine with an explicitly null recorder.
+fn explore_ws_null(system: &System, options: &ExploreOptions, threads: usize) -> StateGraph {
+    let opts = ExploreOptions {
+        engine: Engine::WorkStealing,
+        ..options.clone()
+    };
+    explore_null(system, &opts, threads)
+}
+
+/// Asserts that two graphs are byte-identical in the established
+/// sense: same states in the same canonical order, same init set, and
+/// the same edge list per state.
+fn assert_graphs_identical(a: &StateGraph, b: &StateGraph, what: &str) {
+    assert_eq!(a.states(), b.states(), "{what}: states differ");
+    assert_eq!(a.init(), b.init(), "{what}: init sets differ");
+    for id in 0..a.len() {
+        assert_eq!(a.edges(id), b.edges(id), "{what}: edges differ at state {id}");
+    }
 }
 
 /// The shipping engine with crash tolerance armed at the default
@@ -322,12 +352,16 @@ fn time_best<T>(iters: usize, mut work: impl FnMut() -> T) -> (Duration, T) {
 struct EngineRun {
     seconds: f64,
     states_per_sec: f64,
+    /// How many workers this entry actually ran with — 1 for the
+    /// sequential engines, the resolved thread count for the parallel
+    /// ones, so a JSON reader never has to guess from context.
+    workers: usize,
 }
 
 fn engine_json(run: &EngineRun) -> String {
     format!(
-        "{{ \"seconds\": {:.6}, \"states_per_sec\": {:.0} }}",
-        run.seconds, run.states_per_sec
+        "{{ \"seconds\": {:.6}, \"states_per_sec\": {:.0}, \"workers\": {} }}",
+        run.seconds, run.states_per_sec, run.workers
     )
 }
 
@@ -355,8 +389,8 @@ fn main() {
         "# bench_explore ({} mode, {iters} iteration(s), {threads} thread(s))\n",
         if smoke { "smoke" } else { "full" }
     );
-    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | seq_red | seq_fp× | par_fp× | red× | null-ovh | ckpt-ovh |");
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | par_ws | seq_red | seq_fp× | par_fp× | par_ws× | red× | null-ovh | ckpt-ovh |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
 
     let mut rows = Vec::new();
     let mut acceptance: Option<(String, f64)> = None;
@@ -408,6 +442,7 @@ fn main() {
         let (par_t, par_graph) = time_best(iters, || {
             explore_parallel(&sc.system, &par_options).expect("par_fp explores")
         });
+        let (ws_t, ws_graph) = time_best(iters, || explore_ws_null(&sc.system, &options, threads));
         let (red_t, red_run) = time_best(iters, || {
             explore_reduced(&sc.system, &options, &sc.reduction)
         });
@@ -462,6 +497,16 @@ fn main() {
             sc.name
         );
         assert_eq!(
+            graph_counts(&ws_graph),
+            (states, transitions),
+            "{}: par_ws disagrees with seed",
+            sc.name
+        );
+        // The work-stealing engine's canonical renumbering must make
+        // it indistinguishable from the sequential engine, not merely
+        // count-equal.
+        assert_graphs_identical(&seq_graph, &ws_graph, sc.name);
+        assert_eq!(
             graph_counts(&ck_graph),
             (states, transitions),
             "{}: checkpoint-armed run disagrees with seed",
@@ -490,27 +535,31 @@ fn main() {
         let red_factor = states as f64 / states_reduced.max(1) as f64;
         let red_stats = red_run.reduction.expect("reduced run reports stats");
 
-        let run = |d: Duration| EngineRun {
+        let run = |d: Duration, workers: usize| EngineRun {
             seconds: d.as_secs_f64(),
             states_per_sec: states as f64 / d.as_secs_f64().max(1e-9),
+            workers,
         };
-        let (seed, plain, seq, par) = (run(seed_t), run(plain_t), run(seq_t), run(par_t));
+        let (seed, plain, seq) = (run(seed_t, 1), run(plain_t, 1), run(seq_t, 1));
+        let (par, ws) = (run(par_t, threads), run(ws_t, threads));
         let red = EngineRun {
             seconds: red_t.as_secs_f64(),
             states_per_sec: states_reduced as f64 / red_t.as_secs_f64().max(1e-9),
+            workers: 1,
         };
         let seq_x = seq.states_per_sec / seed.states_per_sec;
         let par_x = par.states_per_sec / seed.states_per_sec;
+        let ws_x = ws.states_per_sec / seed.states_per_sec;
         // Disabled-recorder overhead: how much throughput the shipping
         // engine gives up against the un-instrumented PR2 copy (< 0
         // means it measured faster).
         let null_ovh = 1.0 - seq.states_per_sec / plain.states_per_sec;
         // Resume overhead: what arming checkpointing at the default
         // cadence costs against the same engine with it off.
-        let ck = run(ck_t);
+        let ck = run(ck_t, 1);
         let resume_ovh = 1.0 - seq_resume_t.as_secs_f64() / ck_t.as_secs_f64().max(1e-9);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:+.1}% | {:+.1}% |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:.2}× | {:+.1}% | {:+.1}% |",
             sc.name,
             states,
             transitions,
@@ -518,9 +567,11 @@ fn main() {
             ms(plain_t),
             ms(seq_t),
             ms(par_t),
+            ms(ws_t),
             ms(red_t),
             seq_x,
             par_x,
+            ws_x,
             red_factor,
             null_ovh * 100.0,
             resume_ovh * 100.0,
@@ -537,7 +588,7 @@ fn main() {
             best_reduction = Some((sc.name, red_factor));
         }
         rows.push(format!(
-            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"seq_ckpt\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"resume_overhead\": {:.4},\n      \"acceptance\": {},\n      \"reduction\": {{\n        \"config\": \"{}\",\n        \"states_full\": {},\n        \"states_reduced\": {},\n        \"reduction_factor\": {:.2},\n        \"seq_red\": {},\n        \"ample_states\": {},\n        \"full_states\": {},\n        \"skipped_transitions\": {},\n        \"canon_hits\": {},\n        \"verdict_matches_full\": true\n      }}\n    }}",
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"par_ws\": {},\n      \"seq_ckpt\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"speedup_par_ws\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"resume_overhead\": {:.4},\n      \"acceptance\": {},\n      \"reduction\": {{\n        \"config\": \"{}\",\n        \"states_full\": {},\n        \"states_reduced\": {},\n        \"reduction_factor\": {:.2},\n        \"seq_red\": {},\n        \"ample_states\": {},\n        \"full_states\": {},\n        \"skipped_transitions\": {},\n        \"canon_hits\": {},\n        \"verdict_matches_full\": true\n      }}\n    }}",
             sc.name,
             states,
             transitions,
@@ -545,9 +596,11 @@ fn main() {
             engine_json(&plain),
             engine_json(&seq),
             engine_json(&par),
+            engine_json(&ws),
             engine_json(&ck),
             seq_x,
             par_x,
+            ws_x,
             null_ovh,
             resume_ovh,
             sc.is_acceptance,
@@ -608,8 +661,93 @@ fn main() {
         let _ = std::fs::remove_file(&ck_path);
         1.0 - seq_best.as_secs_f64() / ck_best.as_secs_f64().max(1e-9)
     };
+
+    // --- work-stealing gate: full chain4 at 4 workers, always ---------
+    // As with the resume gate, the smoke scenarios are far too small to
+    // support a speedup assertion, so the gate always measures the full
+    // acceptance chain, interleaving the three engines so block-to-block
+    // drift cancels out of the ratios. The asserts themselves only fire
+    // with real hardware parallelism: on a single-hardware-thread
+    // machine every "worker count" time-slices one core and the ratios
+    // are pure scheduling noise — the measured numbers are still
+    // printed and recorded in the JSON either way.
+    let ws_gate_workers = 4usize;
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let ws_name = "chain4";
+    let (ws_vs_seq, ws_vs_par) = {
+        let gate_sys = QueueChain::new(4, 1, 2, FairnessStyle::Joint)
+            .complete_system()
+            .expect("chain4 builds");
+        let mut seq_best = Duration::MAX;
+        let mut par_best = Duration::MAX;
+        let mut ws_best = Duration::MAX;
+        for _ in 0..iters.max(5) {
+            let t = Instant::now();
+            let seq_g = explore_null(&gate_sys, &options, 1);
+            seq_best = seq_best.min(t.elapsed());
+            let t = Instant::now();
+            let par_g = explore_null(&gate_sys, &options, ws_gate_workers);
+            par_best = par_best.min(t.elapsed());
+            let t = Instant::now();
+            let ws_g = explore_ws_null(&gate_sys, &options, ws_gate_workers);
+            ws_best = ws_best.min(t.elapsed());
+            assert_graphs_identical(&seq_g, &ws_g, "ws gate (chain4)");
+            assert_eq!(
+                graph_counts(&par_g),
+                graph_counts(&seq_g),
+                "ws gate: par_fp disagrees on chain4"
+            );
+        }
+        (
+            seq_best.as_secs_f64() / ws_best.as_secs_f64().max(1e-9),
+            par_best.as_secs_f64() / ws_best.as_secs_f64().max(1e-9),
+        )
+    };
+
+    // --- thread-scaling curve: both parallel engines, 1/2/4/8 workers --
+    // One descriptive sample per point (the gates above are what is
+    // asserted); every point re-checks the state count so a scaling
+    // entry can never come from a wrong graph.
+    let worker_counts: [usize; 4] = [1, 2, 4, 8];
+    let mut scaling_rows = Vec::new();
+    for sc in scenarios(smoke) {
+        let mut fp_entries = Vec::new();
+        let mut ws_entries = Vec::new();
+        let mut states = 0usize;
+        for &w in &worker_counts {
+            let entry = |t: Duration, n: usize, w: usize| {
+                format!(
+                    "{{ \"workers\": {w}, \"seconds\": {:.6}, \"states_per_sec\": {:.0} }}",
+                    t.as_secs_f64(),
+                    n as f64 / t.as_secs_f64().max(1e-9)
+                )
+            };
+            let (t, g) = time_best(1, || explore_null(&sc.system, &options, w));
+            states = g.len();
+            fp_entries.push(entry(t, states, w));
+            let (t, g) = time_best(1, || explore_ws_null(&sc.system, &options, w));
+            assert_eq!(g.len(), states, "{}: scaling run disagrees", sc.name);
+            ws_entries.push(entry(t, states, w));
+        }
+        scaling_rows.push(format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"par_fp\": [{}],\n      \"par_ws\": [{}]\n    }}",
+            sc.name,
+            states,
+            fp_entries.join(", "),
+            ws_entries.join(", ")
+        ));
+    }
+    let scaling_json = format!(
+        "{{\n  \"benchmark\": \"explore_scaling\",\n  \"smoke\": {smoke},\n  \"iterations\": 1,\n  \"hardware_threads\": {hardware},\n  \"worker_counts\": [1, 2, 4, 8],\n  \"engines\": {{\n    \"par_fp\": \"level-synchronous parallel engine, fingerprint mode\",\n    \"par_ws\": \"work-stealing engine (packed layouts, barrier-free)\"\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scaling_rows.join(",\n")
+    );
+    let scaling_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    std::fs::write(scaling_path, &scaling_json).expect("write BENCH_scaling.json");
+    println!("wrote {scaling_path}");
+
     let json = format!(
-        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"parallel engine, fingerprint mode, workers = threads field (delegates to sequential when 1)\",\n    \"seq_ckpt\": \"seq_fp with checkpointing armed at DEFAULT_CHECKPOINT_CADENCE (crash-tolerance arming cost)\",\n    \"seq_red\": \"sequential engine under the scenario's Reduction (ample-set POR and/or symmetry), NullRecorder\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"resume\": {{\n    \"scenario\": \"{resume_name}\",\n    \"cadence\": {DEFAULT_CHECKPOINT_CADENCE},\n    \"resume_overhead\": {resume_ovh:.4}\n  }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"level-synchronous parallel engine, fingerprint mode (delegates to sequential when 1 worker)\",\n    \"par_ws\": \"work-stealing engine: packed state layouts, per-worker deques, no level barriers\",\n    \"seq_ckpt\": \"seq_fp with checkpointing armed at DEFAULT_CHECKPOINT_CADENCE (crash-tolerance arming cost)\",\n    \"seq_red\": \"sequential engine under the scenario's Reduction (ample-set POR and/or symmetry), NullRecorder\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"resume\": {{\n    \"scenario\": \"{resume_name}\",\n    \"cadence\": {DEFAULT_CHECKPOINT_CADENCE},\n    \"resume_overhead\": {resume_ovh:.4}\n  }},\n  \"ws_gate\": {{\n    \"scenario\": \"{ws_name}\",\n    \"workers\": {ws_gate_workers},\n    \"hardware_threads\": {hardware},\n    \"speedup_vs_seq_fp\": {ws_vs_seq:.2},\n    \"speedup_vs_par_fp\": {ws_vs_par:.2},\n    \"asserted\": {}\n  }},\n  \"scaling\": \"BENCH_scaling.json\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        hardware >= 2,
         rows.join(",\n")
     );
 
@@ -660,6 +798,27 @@ fn main() {
          the unarmed engine on {resume_name} (limit 5%)",
         resume_ovh * 100.0
     );
+    println!(
+        "ws gate ({ws_name}, {ws_gate_workers} workers): par_ws is {ws_vs_seq:.2}× seq_fp \
+         and {ws_vs_par:.2}× par_fp ({hardware} hardware thread(s))"
+    );
+    if hardware >= 2 {
+        assert!(
+            ws_vs_seq >= 1.5,
+            "work-stealing regression: par_ws only {ws_vs_seq:.2}× seq_fp on {ws_name} \
+             at {ws_gate_workers} workers (need ≥ 1.5×)"
+        );
+        assert!(
+            ws_vs_par >= 1.8,
+            "work-stealing regression: par_ws only {ws_vs_par:.2}× par_fp on {ws_name} \
+             at {ws_gate_workers} workers (need ≥ 1.8×)"
+        );
+    } else {
+        println!(
+            "ws gate speedup asserts skipped (single hardware thread — byte-identity \
+             was still checked)"
+        );
+    }
 }
 
 /// Explores `system` under a [`JsonlRecorder`] with three engines —

@@ -9,9 +9,11 @@
 //!    (54 358 states / 164 736 transitions / depth 55);
 //! 3. the resumed graph must be byte-identical to an uninterrupted
 //!    run's — states, initial states, edges, everything;
-//! 4. the same round trip with the 4-thread parallel engine (the
-//!    snapshot does not pin the thread count);
-//! 5. all four runs stream into `OBS_resume.jsonl` through a
+//! 4. the same round trip with the 4-thread level-synchronous parallel
+//!    engine and with the 4-worker work-stealing engine (the snapshot
+//!    pins neither the thread count nor the engine — any engine can
+//!    resume any engine's snapshot);
+//! 5. all six runs stream into `OBS_resume.jsonl` through a
 //!    [`JsonlRecorder`], and the stream must validate against the
 //!    observability schema.
 //!
@@ -19,7 +21,7 @@
 //! upload as artifacts.
 
 use opentla_check::{
-    explore_governed_with, explore_resumable, obs, Budget, ExploreOptions,
+    explore_governed_with, explore_resumable, obs, Budget, Engine, ExploreOptions,
     JsonlRecorder, RecorderHandle, StateGraph,
 };
 use opentla_queue::{FairnessStyle, QueueChain};
@@ -59,14 +61,16 @@ fn main() {
         run.graph
     };
 
-    for (label, threads, snap_name) in [
-        ("sequential", 1usize, "CKPT_chain4.snap"),
-        ("parallel(4)", 4, "CKPT_chain4_par.snap"),
+    for (label, threads, engine, snap_name) in [
+        ("sequential", 1usize, Engine::LevelSync, "CKPT_chain4.snap"),
+        ("parallel(4)", 4, Engine::LevelSync, "CKPT_chain4_par.snap"),
+        ("work-stealing(4)", 4, Engine::WorkStealing, "CKPT_chain4_ws.snap"),
     ] {
         let snap_path = format!("{root}/{snap_name}");
         let _ = std::fs::remove_file(&snap_path);
         let opts = ExploreOptions {
             threads: Some(threads),
+            engine,
             ..ExploreOptions::default()
         };
 
@@ -123,11 +127,11 @@ fn main() {
     });
     assert_eq!(
         summary.runs.len(),
-        4,
-        "two interrupted + two resumed runs must be reported"
+        6,
+        "three interrupted + three resumed runs must be reported"
     );
     let complete: Vec<_> = summary.runs.iter().filter(|r| r.complete).collect();
-    assert_eq!(complete.len(), 2, "exactly the two resumed runs complete");
+    assert_eq!(complete.len(), 3, "exactly the three resumed runs complete");
     assert!(
         complete
             .iter()

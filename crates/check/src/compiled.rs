@@ -95,6 +95,22 @@ impl CompiledExpr {
     /// The same evaluation errors, in the same evaluation order, as
     /// [`Expr::eval_state`] on the source expression.
     pub fn eval(&self, s: &State, scratch: &mut EvalScratch) -> Result<Value, EvalError> {
+        self.eval_on(s.values(), scratch)
+    }
+
+    /// Evaluates the program on a bare value slice indexed by
+    /// [`VarId`] — the packed-state engines unpack a buffer into a
+    /// reused `Vec<Value>` and evaluate here without materializing a
+    /// [`State`] (no `Arc` allocation on the hot path).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledExpr::eval`].
+    pub fn eval_on(
+        &self,
+        values: &[Value],
+        scratch: &mut EvalScratch,
+    ) -> Result<Value, EvalError> {
         let stack = &mut scratch.stack;
         stack.clear();
         let mut pc = 0usize;
@@ -102,12 +118,12 @@ impl CompiledExpr {
             pc += 1;
             match op {
                 Op::Const(v) => stack.push(v.clone()),
-                Op::Load(v) => match s.try_get(*v) {
+                Op::Load(v) => match values.get(v.index()) {
                     Some(value) => stack.push(value.clone()),
                     None => {
                         return Err(EvalError::UnboundVar {
                             var: *v,
-                            state_len: s.len(),
+                            state_len: values.len(),
                         })
                     }
                 },
@@ -178,6 +194,19 @@ impl CompiledExpr {
     /// is not a boolean.
     pub fn holds(&self, s: &State, scratch: &mut EvalScratch) -> Result<bool, EvalError> {
         expect_bool(self.eval(s, scratch)?)
+    }
+
+    /// Evaluates the program as a boolean on a bare value slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledExpr::holds`].
+    pub fn holds_on(
+        &self,
+        values: &[Value],
+        scratch: &mut EvalScratch,
+    ) -> Result<bool, EvalError> {
+        expect_bool(self.eval_on(values, scratch)?)
     }
 }
 
@@ -357,16 +386,33 @@ impl<'a> CompiledSystem<'a> {
         &self,
         s: &State,
         scratch: &mut EvalScratch,
+        visit: impl FnMut(usize, &[(VarId, Value)]) -> std::ops::ControlFlow<B>,
+    ) -> Result<Option<B>, CheckError> {
+        self.for_each_successor_values(s.values(), scratch, visit)
+    }
+
+    /// [`CompiledSystem::for_each_successor`] over a bare value slice
+    /// indexed by [`VarId`] — the entry point for packed-state
+    /// engines, which unpack into a reused buffer and never build a
+    /// parent [`State`] at all.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSystem::for_each_successor`].
+    pub fn for_each_successor_values<B>(
+        &self,
+        values: &[Value],
+        scratch: &mut EvalScratch,
         mut visit: impl FnMut(usize, &[(VarId, Value)]) -> std::ops::ControlFlow<B>,
     ) -> Result<Option<B>, CheckError> {
         let vars = self.system.vars();
         for (i, ca) in self.actions.iter().enumerate() {
-            if !ca.guard.holds(s, scratch)? {
+            if !ca.guard.holds_on(values, scratch)? {
                 continue;
             }
             scratch.assignments.clear();
             for (v, e) in &ca.updates {
-                let value = e.eval(s, scratch)?;
+                let value = e.eval_on(values, scratch)?;
                 if !vars.domain(*v).contains(&value) {
                     return Err(CheckError::OutOfDomain {
                         action: self.system.actions()[i].name().to_string(),

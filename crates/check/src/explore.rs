@@ -28,20 +28,19 @@ use fxhash::FxHashMap;
 use opentla_kernel::State;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
-/// Locks a mutex, recovering the data if a previous holder panicked.
-///
-/// Every lock in the parallel engine guards state that is kept
-/// consistent *within* each critical section (pushes and map inserts
-/// happen together; see [`ParShared::intern_with`]), so a panic that
-/// poisons a lock leaves the protected data structurally sound — the
-/// worker's in-flight *results* are discarded separately by the
-/// panic-isolation path. Propagating the poison would instead turn one
-/// worker's bug into a whole-run abort.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
+// Every lock in the parallel engines guards state that is kept
+// consistent *within* each critical section (pushes and map inserts
+// happen together; see [`ParShared::intern_with`]), so the shared
+// poison-recovering [`lock`] is safe here: a panic that poisons a
+// lock leaves the protected data structurally sound — the worker's
+// in-flight *results* are discarded separately by the panic-isolation
+// path. Propagating the poison would instead turn one worker's bug
+// into a whole-run abort.
+use crate::sync::lock;
+
+mod ws;
 
 /// How the explorer remembers which states it has already seen.
 ///
@@ -103,6 +102,32 @@ pub struct ExploreOptions {
     /// exists so tests can prove it does. `None` (the default) injects
     /// nothing; the sequential engines ignore it.
     pub worker_panic: Option<WorkerPanic>,
+    /// Which parallel engine runs when the resolved thread count calls
+    /// for one. Default [`Engine::LevelSync`] — bit-for-bit the
+    /// pre-existing behavior. [`Engine::WorkStealing`] selects the
+    /// barrier-free packed-state engine (see [`explore_parallel_ws`]);
+    /// reduced runs and [`WorkerPanic`] injection always fall back to
+    /// the level-synchronous path, which remains the reduced/proviso
+    /// engine.
+    pub engine: Engine,
+}
+
+/// Selects the parallel exploration engine; see
+/// [`ExploreOptions::engine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The PR2 level-synchronous engine: BFS levels end in a barrier
+    /// plus canonical renumbering. The only engine that runs reduced
+    /// (ample-set / symmetry) explorations.
+    #[default]
+    LevelSync,
+    /// The barrier-free work-stealing engine over packed state
+    /// buffers: per-worker deques, quiescence-based termination, one
+    /// canonical renumbering post-pass. Produces graphs byte-identical
+    /// to the sequential engine. Falls back to the `Value`-tree state
+    /// representation when the system's domains do not compile to a
+    /// [`opentla_kernel::PackedLayout`].
+    WorkStealing,
 }
 
 /// Instructs one parallel worker to panic mid-expansion — test
@@ -130,6 +155,7 @@ impl Default for ExploreOptions {
             fp_bits: 64,
             reduction: Reduction::none(),
             worker_panic: None,
+            engine: Engine::LevelSync,
         }
     }
 }
@@ -137,6 +163,17 @@ impl Default for ExploreOptions {
 impl ExploreOptions {
     fn mask(&self) -> u64 {
         fp_mask(self.fp_bits)
+    }
+
+    /// Whether this configuration routes to the work-stealing engine:
+    /// reduction and panic-injection runs stay on the level-sync path
+    /// (the former by design — the proviso needs level boundaries —
+    /// the latter because the injection hook instruments that
+    /// engine's claim counter).
+    fn ws_routed(&self) -> bool {
+        self.engine == Engine::WorkStealing
+            && !self.reduction.is_active()
+            && self.worker_panic.is_none()
     }
 }
 
@@ -657,6 +694,9 @@ fn explore_dispatch(
     threads: usize,
     resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
+    if options.ws_routed() {
+        return ws::explore_ws(system, budget, options, threads, resume);
+    }
     let prepared = options.reduction.prepare(system);
     if threads > 1 {
         explore_parallel_impl(system, budget, options, threads, prepared.as_ref(), resume)
@@ -682,7 +722,9 @@ fn explore_observed(
     if !rec.enabled() {
         return explore_dispatch(system, budget, options, threads, resume);
     }
-    let engine = if threads > 1 {
+    let engine = if options.ws_routed() {
+        "explore_parallel_ws"
+    } else if threads > 1 {
         "explore_parallel"
     } else {
         "explore_sequential"
@@ -842,6 +884,73 @@ pub fn explore_parallel_governed(
         })
         .max(1);
     explore_observed(system, budget, options, threads, None)
+}
+
+/// Explores with the barrier-free work-stealing engine over packed
+/// state buffers (worker count resolved as in [`explore_parallel`]).
+///
+/// Workers pull parents from per-worker deques, stealing from each
+/// other when their own runs dry, and terminate by quiescence
+/// detection instead of level barriers; states live as fixed-width
+/// packed byte runs (see [`opentla_kernel::PackedLayout`]) in
+/// lock-striped arenas, fingerprinted directly over the bytes. A
+/// deterministic canonical renumbering post-pass makes the resulting
+/// graph **byte-identical** to the sequential engine's, exactly as
+/// the level-synchronous engine's is.
+///
+/// Unlike [`explore_parallel`], a single worker does *not* delegate
+/// to the tree-state sequential engine — the packed representation is
+/// most of the speedup, so the engine runs its own machinery at any
+/// worker count. Reduced (ample-set/symmetry) configurations fall
+/// back to the level-synchronous path, which remains the only engine
+/// implementing the cycle proviso.
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_parallel_ws(
+    system: &System,
+    options: &ExploreOptions,
+) -> Result<StateGraph, CheckError> {
+    let run = explore_parallel_ws_governed(
+        system,
+        &Budget::default().states(options.max_states),
+        options,
+    )?;
+    match run.outcome {
+        Outcome::Complete => Ok(run.graph),
+        Outcome::Exhausted { .. } => Err(CheckError::TooManyStates {
+            limit: options.max_states,
+        }),
+    }
+}
+
+/// [`explore_parallel_ws`] under a [`Budget`], returning partial
+/// results on exhaustion. Checkpointing budgets write an `OTLASNAP`
+/// snapshot at the exhaustion point (a quiescent point — the
+/// barrier-free engine takes no mid-run snapshots), resumable by any
+/// engine.
+///
+/// # Errors
+///
+/// As [`explore_governed`].
+pub fn explore_parallel_ws_governed(
+    system: &System,
+    budget: &Budget,
+    options: &ExploreOptions,
+) -> Result<Exploration, CheckError> {
+    let options = ExploreOptions {
+        engine: Engine::WorkStealing,
+        ..options.clone()
+    };
+    let threads = options
+        .threads
+        .or_else(env_threads)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(1);
+    explore_observed(system, budget, &options, threads, None)
 }
 
 // ---------------------------------------------------------------------
@@ -1749,6 +1858,22 @@ fn replay_records(
     all_edges: &[Vec<(Pid, u32, Pid)>],
     init_pids: &[Pid],
 ) -> Replay {
+    let (mut r, order) = replay_records_order(arena_lens, all_edges, init_pids);
+    r.states = order.iter().map(|&p| state_of(p)).collect();
+    r
+}
+
+/// The structural core of [`replay_records`]: everything except state
+/// materialization. Returns the [`Replay`] with `states` empty plus
+/// the pids in canonical id order, so callers choose how to
+/// materialize — sequentially ([`replay_records`]) or fanned out
+/// across workers (the work-stealing engine, where each state is an
+/// independent unpack once the order is fixed).
+fn replay_records_order(
+    arena_lens: &[usize],
+    all_edges: &[Vec<(Pid, u32, Pid)>],
+    init_pids: &[Pid],
+) -> (Replay, Vec<Pid>) {
     const NO_RUN: (u32, u32, u32) = (u32::MAX, 0, 0);
     let mut edge_index: Vec<Vec<(u32, u32, u32)>> =
         arena_lens.iter().map(|&n| vec![NO_RUN; n]).collect();
@@ -1774,11 +1899,12 @@ fn replay_records(
         init: Vec::new(),
         depth: Vec::new(),
     };
+    let mut order: Vec<Pid> = Vec::new();
     let mut queue = std::collections::VecDeque::new();
     for &p in init_pids {
-        let id = r.states.len();
+        let id = order.len();
         r.canon[shard_of(p)][local_of(p)] = id as u32;
-        r.states.push(state_of(p));
+        order.push(p);
         r.edges.push(Vec::new());
         r.parents.push(None);
         r.depth.push(0);
@@ -1795,9 +1921,9 @@ fn replay_records(
         for &(_, action, child) in run {
             let slot = &mut r.canon[shard_of(child)][local_of(child)];
             let target = if *slot == u32::MAX {
-                let nid = r.states.len();
+                let nid = order.len();
                 *slot = nid as u32;
-                r.states.push(state_of(child));
+                order.push(child);
                 r.edges.push(Vec::new());
                 r.parents.push(Some((id, action as usize)));
                 r.depth.push(r.depth[id] + 1);
@@ -1812,7 +1938,41 @@ fn replay_records(
             });
         }
     }
-    r
+    (r, order)
+}
+
+/// The deepest consistent level-boundary rollback of an exhausted
+/// parallel run, shared by both parallel engines: given the canonical
+/// replay's pid→id map and per-id BFS depths, plus the
+/// discovered-but-unexpanded pids, returns `(keep, frontier_ids)` for
+/// [`checkpoint::capture`]. The cut level L is the shallowest pending
+/// state's depth — everything above L is fully expanded, and the
+/// frontier is *all* of level L (replay depth is non-decreasing in
+/// canonical id order, so that is an id range landing on the arena's
+/// tail, exactly the cut the resume paths expect). Pending pids
+/// unreachable in the replay are ignored; with no reachable pending
+/// state at all, the whole graph is kept with an empty frontier.
+fn rollback_cut(
+    canon: &[Vec<u32>],
+    depth: &[u32],
+    states_len: usize,
+    pending: &[Pid],
+) -> (usize, Vec<usize>) {
+    let cut = pending
+        .iter()
+        .filter_map(|&p| {
+            let c = canon[shard_of(p)][local_of(p)];
+            (c != u32::MAX).then(|| depth[c as usize])
+        })
+        .min();
+    match cut {
+        None => (states_len, Vec::new()),
+        Some(l) => {
+            let keep = depth.partition_point(|&d| d <= l);
+            let first = depth.partition_point(|&d| d < l);
+            (keep, (first..keep).collect())
+        }
+    }
 }
 
 /// Level-synchronous parallel BFS: scoped workers drain the current
@@ -2143,21 +2303,7 @@ fn explore_parallel_impl(
     // so the frontier is an id range and lands on the arena's tail.
     let (snapshot, resume_token) = match reason {
         Some(_) if !exhausted_in_init => {
-            let cut = pending
-                .iter()
-                .filter_map(|&p| {
-                    let c = canon[shard_of(p)][local_of(p)];
-                    (c != u32::MAX).then(|| depth[c as usize])
-                })
-                .min();
-            let (keep, frontier_ids) = match cut {
-                None => (states.len(), Vec::new()),
-                Some(l) => {
-                    let keep = depth.partition_point(|&d| d <= l);
-                    let first = depth.partition_point(|&d| d < l);
-                    (keep, (first..keep).collect())
-                }
-            };
+            let (keep, frontier_ids) = rollback_cut(&canon, &depth, states.len(), &pending);
             // If the final level was cut mid-way, the rollback lands
             // on the boundary *before* it — whose reduction counters
             // are the pre-level totals; otherwise the totals stand.

@@ -1,0 +1,11 @@
+//! Small synchronization utilities shared by the exploration engines.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning: the engines tolerate
+/// worker panics, and the data a panicking worker may have left
+/// behind is rolled back explicitly (re-queued claims, truncated
+/// partial expansions) rather than abandoned to a poisoned lock.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

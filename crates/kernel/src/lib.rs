@@ -51,6 +51,7 @@ mod error;
 mod expr;
 mod footprint;
 mod formula;
+mod packed;
 mod state;
 mod subst;
 mod value;
@@ -60,6 +61,7 @@ pub use action::{box_action, enabled_vars, unchanged};
 pub use error::{EvalError, KernelError};
 pub use expr::{expect_bool, BinOp, Expr, ExprDisplay, UnOp};
 pub use footprint::Footprint;
+pub use packed::PackedLayout;
 pub use formula::FormulaDisplay;
 pub use state::StateDisplay;
 pub use formula::{Fairness, FairnessKind, Formula};

@@ -135,7 +135,7 @@ impl State {
 /// The Zobrist slot hash: a fast hash of `(slot index, value)`. The
 /// index participates so that swapping equal values between two slots
 /// changes the fingerprint.
-fn slot_fingerprint(index: usize, value: &Value) -> u64 {
+pub(crate) fn slot_fingerprint(index: usize, value: &Value) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = fxhash::FxHasher::default();
     h.write_usize(index);

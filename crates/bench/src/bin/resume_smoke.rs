@@ -13,17 +13,24 @@
 //!    engine and with the 4-worker work-stealing engine (the snapshot
 //!    pins neither the thread count nor the engine — any engine can
 //!    resume any engine's snapshot);
-//! 5. all six runs stream into `OBS_resume.jsonl` through a
-//!    [`JsonlRecorder`], and the stream must validate against the
-//!    observability schema.
+//! 5. the same kill-and-resume on a *liveness lasso run*: a fair-cycle
+//!    check of `◇FALSE` on the chain4 graph is interrupted by a
+//!    transition budget (leaving `CKPT_chain4_live.snap`), resumed by
+//!    the 4-worker parallel liveness engine, and must reproduce the
+//!    uninterrupted sequential verdict and lasso byte-for-byte;
+//! 6. all six exploration runs plus the liveness events stream into
+//!    `OBS_resume.jsonl` through a [`JsonlRecorder`], and the stream
+//!    must validate against the observability schema.
 //!
 //! The snapshot files and the JSONL stream are left on disk for CI to
 //! upload as artifacts.
 
 use opentla_check::{
-    explore_governed_with, explore_resumable, obs, Budget, Engine, ExploreOptions,
-    JsonlRecorder, RecorderHandle, StateGraph,
+    check_liveness, check_liveness_resumable, explore_governed_with, explore_resumable,
+    obs, Budget, Engine, ExploreOptions, JsonlRecorder, LiveTarget, LivenessOptions,
+    RecorderHandle, StateGraph, Verdict,
 };
+use opentla_kernel::Expr;
 use opentla_queue::{FairnessStyle, QueueChain};
 use std::sync::Arc;
 
@@ -120,6 +127,81 @@ fn main() {
         );
     }
 
+    // The liveness leg: interrupt a fair-cycle lasso search mid-check,
+    // resume it with the 4-worker parallel engine, and pin the verdict
+    // to the uninterrupted sequential one. `◇FALSE` is violated by any
+    // fair behavior, so the check must produce a lasso — golden shape:
+    // a Violated verdict with a loop.
+    {
+        let target = LiveTarget::Eventually(Expr::bool(false));
+        let seq = check_liveness(&system, &reference, &target)
+            .expect("sequential liveness check succeeds");
+        let seq_cx = seq
+            .counterexample()
+            .expect("chain4 must yield a fair lasso violating ◇FALSE");
+        let live_snap = format!("{root}/CKPT_chain4_live.snap");
+        let _ = std::fs::remove_file(&live_snap);
+
+        let interrupted = check_liveness_resumable(
+            &system,
+            &reference,
+            &target,
+            &Budget::default()
+                .transitions(60_000)
+                .with_checkpoint(&live_snap, 8_192)
+                .with_recorder(handle.clone()),
+            &LivenessOptions::default().threads(1),
+        )
+        .expect("interrupted liveness run succeeds");
+        let token = interrupted
+            .outcome
+            .resume_token()
+            .expect("tight liveness budget must exhaust with a resume token");
+        assert!(
+            std::path::Path::new(&live_snap).exists(),
+            "liveness snapshot file must be written"
+        );
+        println!(
+            "liveness: exhausted with {} pending item(s) — snapshot CKPT_chain4_live.snap (seq {})",
+            match &interrupted.outcome {
+                opentla_check::Outcome::Exhausted { frontier_size, .. } => *frontier_size,
+                _ => unreachable!(),
+            },
+            token.seq
+        );
+
+        let resumed = check_liveness_resumable(
+            &system,
+            &reference,
+            &target,
+            &Budget::unlimited()
+                .with_checkpoint(&live_snap, 8_192)
+                .with_recorder(handle.clone()),
+            &LivenessOptions::default().threads(4),
+        )
+        .expect("resumed liveness run succeeds");
+        assert!(resumed.outcome.is_complete(), "resumed liveness run must complete");
+        let par = resumed.verdict.expect("complete runs carry a verdict");
+        match &par {
+            Verdict::Violated(cx) => {
+                assert_eq!(cx.reason(), seq_cx.reason(), "liveness: reason diverges");
+                assert_eq!(cx.states(), seq_cx.states(), "liveness: lasso states diverge");
+                assert_eq!(cx.actions(), seq_cx.actions(), "liveness: lasso actions diverge");
+                assert_eq!(
+                    cx.loop_start(),
+                    seq_cx.loop_start(),
+                    "liveness: loop start diverges"
+                );
+                println!(
+                    "liveness: resumed to the identical lasso — {} state(s), loop at {}",
+                    cx.states().len(),
+                    cx.loop_start().expect("lassos have loops")
+                );
+            }
+            Verdict::Holds => panic!("liveness: resumed verdict lost the violation"),
+        }
+    }
+
     recorder.flush();
     let text = std::fs::read_to_string(&obs_path).expect("read back OBS_resume.jsonl");
     let summary = obs::validate_stream(&text).unwrap_or_else(|e| {
@@ -138,5 +220,13 @@ fn main() {
             .all(|r| r.states == GOLDEN.0 as u64 && r.transitions == GOLDEN.1 as u64),
         "resumed run reports must carry the golden totals"
     );
-    println!("wrote {obs_path} (schema-valid, {} runs)", summary.runs.len());
+    let liveness_workers = summary.kinds.get("liveness_worker").copied().unwrap_or(0);
+    assert_eq!(
+        liveness_workers, 4,
+        "the resumed 4-worker liveness leg must report one event per worker"
+    );
+    println!(
+        "wrote {obs_path} (schema-valid, {} runs, {liveness_workers} liveness worker events)",
+        summary.runs.len()
+    );
 }

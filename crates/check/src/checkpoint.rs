@@ -675,6 +675,278 @@ impl Checkpointer {
     }
 }
 
+const LIVE_MAGIC: &[u8; 8] = b"OTLALIVE";
+
+/// Liveness snapshot wire-format version accepted by this build.
+pub const LIVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// The resumable core of an interrupted liveness check: which
+/// components of the property-restricted graph have already been
+/// analyzed and *cleared* (no fairness-satisfiable violation entered
+/// through them).
+///
+/// Unlike an exploration [`Snapshot`], a liveness snapshot stores no
+/// states — the state graph is the caller's input, and the fairness
+/// tables plus the SCC decomposition are deterministic functions of it,
+/// so a resume re-derives them (without re-charging the meter; the
+/// snapshot banks the transitions the original run paid) and skips the
+/// cleared components. The header therefore pins the graph's
+/// dimensions and a hash of the *target's* restriction tables: a
+/// snapshot taken while checking `◇P` must not skip components of a
+/// `□◇P` run.
+///
+/// Same file discipline as [`Snapshot`]: magic (`b"OTLALIVE"`), body,
+/// FNV-1a checksum; atomic temp-file-and-rename writes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// Structural hash of the checked system.
+    pub(crate) system_hash: u64,
+    /// State count of the graph the check ran over.
+    pub(crate) graph_states: u64,
+    /// Transition count of that graph.
+    pub(crate) graph_transitions: u64,
+    /// Hash of the target's violation-restriction tables.
+    pub(crate) target_hash: u64,
+    /// Sequence number of this snapshot within its run.
+    pub(crate) seq: u64,
+    /// Transitions banked in the snapshot (what the resumed meter is
+    /// pre-charged with).
+    pub(crate) transitions_used: u64,
+    /// Total component count of the restricted graph's decomposition.
+    pub(crate) components: u64,
+    /// Indices (in Tarjan completion order) of cleared components,
+    /// ascending.
+    pub(crate) cleared: Vec<u64>,
+}
+
+impl LiveSnapshot {
+    /// Sequence number of this snapshot within its run.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Transitions banked in the snapshot.
+    pub fn transitions_used(&self) -> u64 {
+        self.transitions_used
+    }
+
+    /// Total component count of the restricted graph's decomposition.
+    pub fn components(&self) -> u64 {
+        self.components
+    }
+
+    /// Indices of already-cleared components, ascending.
+    pub fn cleared(&self) -> &[u64] {
+        &self.cleared
+    }
+
+    /// Refuses to resume against a different system or graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] naming the first disagreeing
+    /// field.
+    pub(crate) fn validate(
+        &self,
+        system: &System,
+        graph: &crate::StateGraph,
+    ) -> Result<(), CheckpointError> {
+        let mismatch = |field, snapshot: String, requested: String| {
+            Err(CheckpointError::Mismatch {
+                field,
+                snapshot,
+                requested,
+            })
+        };
+        let requested_hash = system_hash(system);
+        if self.system_hash != requested_hash {
+            return mismatch(
+                "system",
+                format!("{:#018x}", self.system_hash),
+                format!("{requested_hash:#018x}"),
+            );
+        }
+        if self.graph_states != graph.len() as u64 {
+            return mismatch(
+                "graph state count",
+                self.graph_states.to_string(),
+                graph.len().to_string(),
+            );
+        }
+        let transitions = graph.stats().transitions as u64;
+        if self.graph_transitions != transitions {
+            return mismatch(
+                "graph transition count",
+                self.graph_transitions.to_string(),
+                transitions.to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Refuses to resume a run over a different liveness target.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] on disagreement.
+    pub(crate) fn validate_target(&self, requested: u64) -> Result<(), CheckpointError> {
+        if self.target_hash != requested {
+            return Err(CheckpointError::Mismatch {
+                field: "liveness target",
+                snapshot: format!("{:#018x}", self.target_hash),
+                requested: format!("{requested:#018x}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Refuses to resume when the freshly-derived decomposition has a
+    /// different component count than the snapshot was taken under
+    /// (which would mean the graph or target changed despite matching
+    /// headers — defense in depth).
+    ///
+    /// A snapshot with zero components and no cleared entries was taken
+    /// before the decomposition existed (the run exhausted mid table
+    /// construction); it constrains nothing, so any derived count is
+    /// compatible.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] on disagreement.
+    pub(crate) fn validate_components(&self, derived: u64) -> Result<(), CheckpointError> {
+        if self.components == 0 && self.cleared.is_empty() {
+            return Ok(());
+        }
+        if self.components != derived {
+            return Err(CheckpointError::Mismatch {
+                field: "component count",
+                snapshot: self.components.to_string(),
+                requested: derived.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&LIVE_SNAPSHOT_VERSION.to_le_bytes());
+        for word in [
+            self.system_hash,
+            self.graph_states,
+            self.graph_transitions,
+            self.target_hash,
+            self.seq,
+            self.transitions_used,
+            self.components,
+        ] {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.cleared.len() as u32).to_le_bytes());
+        for &c in &self.cleared {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<LiveSnapshot, CheckpointError> {
+        let corrupt = |detail: String| CheckpointError::Corrupt { detail };
+        let mut r = Reader::new(body);
+        let version = r.u32("version").map_err(|e| corrupt(e.to_string()))?;
+        if version != LIVE_SNAPSHOT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let mut word = |ctx: &'static str| r.u64(ctx).map_err(|e| corrupt(e.to_string()));
+        let system_hash = word("system hash")?;
+        let graph_states = word("graph state count")?;
+        let graph_transitions = word("graph transition count")?;
+        let target_hash = word("target hash")?;
+        let seq = word("sequence number")?;
+        let transitions_used = word("banked transitions")?;
+        let components = word("component count")?;
+        let n = r
+            .u32("cleared count")
+            .map_err(|e| corrupt(e.to_string()))? as usize;
+        if n as u64 > components {
+            return Err(corrupt(format!(
+                "cleared count {n} exceeds component count {components}"
+            )));
+        }
+        let mut cleared = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let c = r
+                .u64("cleared component")
+                .map_err(|e| corrupt(e.to_string()))?;
+            if c >= components {
+                return Err(corrupt(format!(
+                    "cleared component {c} out of range (< {components})"
+                )));
+            }
+            if cleared.last().is_some_and(|&last| last >= c) {
+                return Err(corrupt(format!(
+                    "cleared components not strictly ascending at {c}"
+                )));
+            }
+            cleared.push(c);
+        }
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing byte(s) after the liveness snapshot body",
+                r.remaining()
+            )));
+        }
+        Ok(LiveSnapshot {
+            system_hash,
+            graph_states,
+            graph_transitions,
+            target_hash,
+            seq,
+            transitions_used,
+            components,
+            cleared,
+        })
+    }
+
+    /// Writes the snapshot to `path` atomically (same temp-and-rename
+    /// discipline as [`Snapshot::save`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the filesystem refuses.
+    pub(crate) fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let body = self.encode_body();
+        let mut file = Vec::with_capacity(body.len() + 16);
+        file.extend_from_slice(LIVE_MAGIC);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &file).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Loads and verifies a liveness snapshot: magic, format version,
+    /// checksum, and structural bounds. Corrupt or truncated files
+    /// yield a typed error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] except `Mismatch` (configuration
+    /// validation is [`LiveSnapshot::validate`]'s job).
+    pub fn load(path: &Path) -> Result<LiveSnapshot, CheckpointError> {
+        let file = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        if file.len() < LIVE_MAGIC.len() + 8 || &file[..LIVE_MAGIC.len()] != LIVE_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (body, tail) = file[LIVE_MAGIC.len()..].split_at(file.len() - LIVE_MAGIC.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
+        if fnv1a(body) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        LiveSnapshot::decode_body(body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,5 +1081,102 @@ mod tests {
         assert!(CheckpointError::UnsupportedVersion { found: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    fn live_sample() -> LiveSnapshot {
+        LiveSnapshot {
+            system_hash: 0x1234_5678_9abc_def0,
+            graph_states: 1000,
+            graph_transitions: 2500,
+            target_hash: 0x0f0f_f0f0_1234_4321,
+            seq: 3,
+            transitions_used: 777,
+            components: 42,
+            cleared: vec![0, 2, 5, 41],
+        }
+    }
+
+    #[test]
+    fn live_snapshot_round_trip() {
+        let dir = std::env::temp_dir().join("opentla_live_ckpt_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live_rt.snap");
+        let snap = live_sample();
+        snap.save(&path).unwrap();
+        let back = LiveSnapshot::load(&path).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.seq(), 3);
+        assert_eq!(back.transitions_used(), 777);
+        assert_eq!(back.components(), 42);
+        assert_eq!(back.cleared(), &[0, 2, 5, 41]);
+        assert!(!dir.join("live_rt.snap.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn live_snapshot_rejects_corruption_and_mismatch() {
+        let dir = std::env::temp_dir().join("opentla_live_ckpt_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live_bad.snap");
+        live_sample().save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // An exploration snapshot is not a liveness snapshot: the magic
+        // differs, so cross-loading is refused outright.
+        assert_eq!(
+            Snapshot::load(&path).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        for cut in [0, 4, 8, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let err = LiveSnapshot::load(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::BadMagic | CheckpointError::ChecksumMismatch
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(
+            LiveSnapshot::load(&path).unwrap_err(),
+            CheckpointError::ChecksumMismatch
+        );
+
+        // Unsorted cleared list: checksum fine, structure refused.
+        let mut bad = live_sample();
+        bad.cleared = vec![5, 2];
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            LiveSnapshot::load(&path).unwrap_err(),
+            CheckpointError::Corrupt { .. }
+        ));
+        // Cleared index out of component range.
+        let mut bad = live_sample();
+        bad.cleared = vec![42];
+        bad.save(&path).unwrap();
+        assert!(matches!(
+            LiveSnapshot::load(&path).unwrap_err(),
+            CheckpointError::Corrupt { .. }
+        ));
+
+        // Target/component validation is typed, never a panic.
+        let snap = live_sample();
+        assert!(snap.validate_target(snap.target_hash).is_ok());
+        assert!(matches!(
+            snap.validate_target(snap.target_hash ^ 1).unwrap_err(),
+            CheckpointError::Mismatch { field: "liveness target", .. }
+        ));
+        assert!(snap.validate_components(42).is_ok());
+        assert!(matches!(
+            snap.validate_components(41).unwrap_err(),
+            CheckpointError::Mismatch { field: "component count", .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -110,6 +110,17 @@ pub struct ExploreOptions {
     /// the level-synchronous path, which remains the reduced/proviso
     /// engine.
     pub engine: Engine,
+    /// Graphs that stay below this many states are explored
+    /// sequentially even when a parallel engine was requested: worker
+    /// setup costs orders of magnitude more than the whole exploration
+    /// on dozen-state graphs. The parallel engine probes sequentially
+    /// up to the cutoff and only pays for workers once the graph
+    /// outgrows it. `None` (the default) uses
+    /// [`PAR_SMALL_GRAPH_CUTOFF`]; `Some(0)` disables the routing
+    /// (tests that must exercise parallel machinery on tiny graphs
+    /// do). Checkpointed, resumed, and panic-injection runs never
+    /// probe — their semantics are pinned to the parallel engine.
+    pub small_graph_cutoff: Option<usize>,
 }
 
 /// Selects the parallel exploration engine; see
@@ -156,6 +167,7 @@ impl Default for ExploreOptions {
             reduction: Reduction::none(),
             worker_panic: None,
             engine: Engine::LevelSync,
+            small_graph_cutoff: None,
         }
     }
 }
@@ -185,9 +197,14 @@ fn fp_mask(fp_bits: u32) -> u64 {
     }
 }
 
+/// Default state-count cutoff below which a requested parallel
+/// exploration runs sequentially instead (see
+/// [`ExploreOptions::small_graph_cutoff`]).
+pub const PAR_SMALL_GRAPH_CUTOFF: usize = 256;
+
 /// The `OPENTLA_EXPLORE_THREADS` override, if set to a positive
 /// integer.
-fn env_threads() -> Option<usize> {
+pub(crate) fn env_threads() -> Option<usize> {
     std::env::var("OPENTLA_EXPLORE_THREADS")
         .ok()?
         .trim()
@@ -1603,8 +1620,9 @@ fn explore_sequential_reduced(
 // ---------------------------------------------------------------------
 
 /// Shard count of the parallel visited set (a power of two; the shard
-/// is picked from the low fingerprint bits).
-const NUM_SHARDS: usize = 64;
+/// is picked from the low fingerprint bits). The liveness engine's
+/// parallel reachability pass stripes its visited flags the same way.
+pub(crate) const NUM_SHARDS: usize = 64;
 
 /// Provisional state id used during parallel exploration:
 /// `shard << 32 | index within the shard's arena`. Renumbering maps
@@ -2002,6 +2020,35 @@ fn explore_parallel_impl(
         // the sharding and renumbering machinery would be pure
         // overhead. Delegate.
         return explore_sequential(system, budget, options, prepared, resume);
+    }
+    // Small-graph routing: probe sequentially up to the cutoff; only a
+    // graph that outgrows it (sequential exhaustion exactly at the
+    // probe's state cap, with headroom left in the real budget) pays
+    // for worker setup. The graphs are byte-identical either way, so
+    // the only observable difference is the absence of worker-level
+    // events. Checkpointed, resumed, and panic-injection runs skip the
+    // probe: their on-disk and fault-isolation semantics belong to the
+    // parallel engine.
+    let cutoff = options.small_graph_cutoff.unwrap_or(PAR_SMALL_GRAPH_CUTOFF);
+    if cutoff > 0
+        && resume.is_none()
+        && options.worker_panic.is_none()
+        && budget.checkpoint.is_none()
+    {
+        let cap = budget.max_states.min(cutoff);
+        let probe_budget = Budget {
+            max_states: cap,
+            ..budget.clone()
+        };
+        let probed = explore_sequential(system, &probe_budget, options, prepared, None)?;
+        let outgrew = cap < budget.max_states
+            && matches!(
+                probed.outcome.exhaustion(),
+                Some(ExhaustReason::StateLimit { .. })
+            );
+        if !outgrew {
+            return Ok(probed);
+        }
     }
     let compiled = CompiledSystem::compile(system);
     let sys_hash = checkpoint::system_hash(system);
@@ -2952,5 +2999,48 @@ mod tests {
                 assert_eq!(collided.state(id), s);
             }
         }
+    }
+
+    /// Small graphs requested under a parallel engine route to the
+    /// sequential path (no worker events); graphs that outgrow the
+    /// cutoff — or runs that opt out with `Some(0)` — still fan out.
+    #[test]
+    fn small_graphs_skip_worker_machinery() {
+        use crate::obs::{CountingRecorder, RecorderHandle};
+        use std::sync::Arc;
+
+        let run_counting = |sys: &System, cutoff: Option<usize>| {
+            let counting = Arc::new(CountingRecorder::new());
+            let handle = RecorderHandle::new(counting.clone());
+            let budget = Budget::default().with_recorder(handle);
+            let opts = ExploreOptions {
+                threads: Some(4),
+                small_graph_cutoff: cutoff,
+                ..ExploreOptions::default()
+            };
+            let run = explore_parallel_governed(sys, &budget, &opts).unwrap();
+            assert!(run.outcome.is_complete());
+            (run.graph, counting.worker_levels())
+        };
+
+        // 9 states: probe completes under the default 256 cutoff, so
+        // no worker levels are ever recorded.
+        let small = grid(2);
+        let (routed, levels) = run_counting(&small, None);
+        assert_eq!(levels, 0, "small graph should route sequentially");
+        // Opting out with Some(0) restores the parallel machinery.
+        let (forced, forced_levels) = run_counting(&small, Some(0));
+        assert!(forced_levels > 0, "cutoff 0 must force the parallel engine");
+        assert_eq!(routed.len(), forced.len());
+        assert_eq!(routed.edge_count(), forced.edge_count());
+        for id in 0..routed.len() {
+            assert_eq!(routed.state(id), forced.state(id));
+        }
+
+        // 441 states: the probe outgrows the cutoff, the parallel
+        // engine takes over, and worker levels appear.
+        let (big, big_levels) = run_counting(&grid(20), None);
+        assert_eq!(big.len(), 441);
+        assert!(big_levels > 0, "large graph must still fan out");
     }
 }

@@ -79,8 +79,8 @@ mod system;
 
 pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
 pub use checkpoint::{
-    CheckpointError, CheckpointSpec, ResumeToken, Snapshot, DEFAULT_CHECKPOINT_CADENCE,
-    SNAPSHOT_VERSION,
+    CheckpointError, CheckpointSpec, LiveSnapshot, ResumeToken, Snapshot,
+    DEFAULT_CHECKPOINT_CADENCE, LIVE_SNAPSHOT_VERSION, SNAPSHOT_VERSION,
 };
 pub use obs::{
     CountingRecorder, Event, JsonlRecorder, NullRecorder, Phase, ProgressSnapshot,
@@ -94,12 +94,17 @@ pub use explore::{
     explore_parallel, explore_parallel_governed, explore_parallel_ws,
     explore_parallel_ws_governed, explore_resumable, resume_exploration, Edge, Engine,
     Exploration, ExploreOptions, GraphStats, StateGraph, VisitedMode, WorkerPanic,
+    PAR_SMALL_GRAPH_CUTOFF,
 };
 pub use invariant::{check_invariant, check_step_invariant};
 pub use reduction::{
     Canonicalize, PorConfig, Reduction, ReductionStats, SlotPermutations,
 };
-pub use liveness::{check_liveness, check_liveness_governed, LiveTarget, LivenessRun};
+pub use liveness::{
+    check_liveness, check_liveness_governed, check_liveness_governed_with,
+    check_liveness_resumable, LiveTarget, LivenessOptions, LivenessRun,
+    LIVENESS_SMALL_GRAPH_CUTOFF,
+};
 pub use sample::sample_behavior;
 pub use simulate::{
     check_simulation, check_simulation_governed, SimulationReport, SimulationRun,

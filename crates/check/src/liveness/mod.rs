@@ -22,27 +22,105 @@
 //! Every returned [`Counterexample`] is a lasso that can be replayed
 //! against the trace semantics of `opentla-semantics` — the test suite
 //! does exactly that.
+//!
+//! # Engines
+//!
+//! The module houses two engines over the same phases. The sequential
+//! one lives here; the parallel one in [`par`] fans the fairness
+//! tables, the path-region reachability, and the per-component
+//! analysis out to workers while keeping the SCC decomposition (the
+//! deterministic tie-break) shared and sequential. Which engine runs
+//! is decided by [`LivenessOptions`] (or the `OPENTLA_EXPLORE_THREADS`
+//! override), except that graphs below
+//! [`LIVENESS_SMALL_GRAPH_CUTOFF`] always take the sequential path —
+//! thread setup costs orders of magnitude more than checking a
+//! dozen-state graph. Both engines return **byte-identical** verdicts
+//! and lassos: the parallel engine resolves races by reporting the
+//! minimum fairness-satisfiable component index in Tarjan completion
+//! order, which is exactly the component the sequential scan reaches
+//! first.
+//!
+//! # Interruption and resume
+//!
+//! Under a [`Budget::with_checkpoint`] budget, the component loop
+//! periodically snapshots the set of *cleared* (analyzed, no violation
+//! entered through them) components to a [`LiveSnapshot`], and
+//! exhaustion surfaces a [`ResumeToken`](crate::ResumeToken) in
+//! [`Outcome::Exhausted`]. [`check_liveness_resumable`] rebuilds the
+//! fairness tables and the SCC decomposition without re-charging the
+//! meter (that work is banked in the snapshot's transition count) and
+//! skips the cleared components — resuming costs O(remaining
+//! components), not O(total).
+
+mod fair;
+mod par;
+mod scc;
 
 use crate::budget::{Budget, ExhaustReason, Governed, Meter, Outcome};
+use crate::checkpoint::{system_hash, CheckpointSpec, LiveSnapshot, ResumeToken};
+use crate::obs::{Event, Phase, PhaseGuard, RecorderHandle};
 use crate::{CheckError, Counterexample, StateGraph, System, Verdict};
-use opentla_kernel::{Expr, Fairness, FairnessKind, StatePair};
+use fair::{fair_subcomponent, FairInfo, Waypoint};
+use opentla_kernel::{Expr, Fairness, FairnessKind, SccScratch};
 
-/// Why the metered liveness core stopped: budget exhaustion (with a
-/// count of pending work items, where cheaply known) or a hard error.
-enum Stop {
+/// Graphs smaller than this many states always take the sequential
+/// engine, whatever the requested thread count: spawning workers costs
+/// more than the whole check on graphs this small (the `par_fp`
+/// columns of `BENCH_scaling.json` put the overhead at 10–100× on
+/// ≤ 12-state graphs).
+pub const LIVENESS_SMALL_GRAPH_CUTOFF: usize = 256;
+
+/// Why the metered liveness core stopped: budget exhaustion (with the
+/// exact count of pending work items in the interrupted phase) or a
+/// hard error.
+pub(crate) enum Stop {
     Exhausted { reason: ExhaustReason, pending: usize },
     Error(CheckError),
 }
 
 impl Stop {
+    /// Exhaustion whose pending count the *caller* fills in via
+    /// [`Stop::with_pending`] — leaf sites rarely know the phase total.
     fn exhausted(reason: ExhaustReason) -> Self {
         Stop::Exhausted { reason, pending: 0 }
+    }
+
+    /// Replaces the pending count of an exhaustion; errors pass
+    /// through untouched.
+    fn with_pending(self, pending: usize) -> Self {
+        match self {
+            Stop::Exhausted { reason, .. } => Stop::Exhausted { reason, pending },
+            err => err,
+        }
     }
 }
 
 impl From<CheckError> for Stop {
     fn from(e: CheckError) -> Self {
         Stop::Error(e)
+    }
+}
+
+/// How table/SCC edge probes hit the meter.
+#[derive(Clone, Copy)]
+pub(crate) enum Charge {
+    /// Fresh run: every edge probe charges one transition.
+    Metered,
+    /// Resume: the fairness tables and the SCC pass re-derive work the
+    /// snapshot already banked into its transition count (the meter
+    /// was pre-charged with that total), so re-deriving is free.
+    /// Deadline/cancellation polls still fire.
+    Banked,
+}
+
+impl Charge {
+    fn edge(self, meter: &Meter) -> Result<(), Stop> {
+        match self {
+            Charge::Metered => meter
+                .charge_transition()
+                .map_or(Ok(()), |r| Err(Stop::exhausted(r))),
+            Charge::Banked => Ok(()),
+        }
     }
 }
 
@@ -103,111 +181,54 @@ impl LiveTarget {
     }
 }
 
-/// Per-fairness-requirement facts about the graph.
-struct FairInfo {
-    kind: FairnessKind,
-    /// `angle[s][i]`: is the i-th edge of `s` an `⟨A⟩_v` step?
-    angle: Vec<Vec<bool>>,
-    /// Is `⟨A⟩_v` enabled in state `s`?
-    enabled: Vec<bool>,
-    /// Human-readable name for diagnostics.
-    #[allow(dead_code)]
-    name: String,
+/// Engine selection for a liveness check.
+#[derive(Clone, Debug, Default)]
+pub struct LivenessOptions {
+    /// Worker count. `None` falls back to the `OPENTLA_EXPLORE_THREADS`
+    /// environment override, then to 1 (sequential).
+    pub threads: Option<usize>,
+    /// Graphs with fewer states than this always run sequentially;
+    /// `None` uses [`LIVENESS_SMALL_GRAPH_CUTOFF`]. Set to `Some(0)`
+    /// to force the parallel engine onto tiny graphs (the differential
+    /// tests do).
+    pub small_graph_cutoff: Option<usize>,
 }
 
-fn system_fair_infos(
-    system: &System,
-    graph: &StateGraph,
-    meter: &mut Meter,
-) -> Result<Vec<FairInfo>, Stop> {
-    system
-        .fairness()
-        .iter()
-        .map(|f| {
-            let mut angle = Vec::with_capacity(graph.len());
-            let mut enabled = vec![false; graph.len()];
-            for (id, s) in graph.states().iter().enumerate() {
-                let flags: Vec<bool> = graph
-                    .edges(id)
-                    .iter()
-                    .map(|e| {
-                        meter
-                            .charge_transition()
-                            .map_or(Ok(()), |r| Err(Stop::exhausted(r)))?;
-                        Ok(f.action_ids.contains(&e.action)
-                            && !s.agrees_with(graph.state(e.target), &f.sub))
-                    })
-                    .collect::<Result<_, Stop>>()?;
-                enabled[id] = flags.iter().any(|b| *b);
-                angle.push(flags);
-            }
-            let names: Vec<&str> = f
-                .action_ids
-                .iter()
-                .map(|i| system.actions()[*i].name())
-                .collect();
-            Ok(FairInfo {
-                kind: f.kind,
-                angle,
-                enabled,
-                name: format!(
-                    "{}({})",
-                    match f.kind {
-                        FairnessKind::Weak => "WF",
-                        FairnessKind::Strong => "SF",
-                    },
-                    names.join(" ∨ ")
-                ),
-            })
-        })
-        .collect()
-}
-
-/// Facts about the target fairness condition (semantic, since the
-/// action may be an abstract action under a refinement mapping).
-fn target_fair_info(
-    system: &System,
-    graph: &StateGraph,
-    fair: &Fairness,
-    enabled_with: Option<&Expr>,
-    meter: &mut Meter,
-) -> Result<(Vec<Vec<bool>>, Vec<bool>), Stop> {
-    let angle_expr = fair.angle_action();
-    let mut angle = Vec::with_capacity(graph.len());
-    let mut enabled = vec![false; graph.len()];
-    for (id, s) in graph.states().iter().enumerate() {
-        if let Some(reason) = meter.checkpoint() {
-            return Err(Stop::Exhausted {
-                reason,
-                pending: graph.len() - id,
-            });
-        }
-        let flags: Vec<bool> = graph
-            .edges(id)
-            .iter()
-            .map(|e| {
-                meter
-                    .charge_transition()
-                    .map_or(Ok(()), |r| Err(Stop::exhausted(r)))?;
-                angle_expr
-                    .holds_action(StatePair::new(s, graph.state(e.target)))
-                    .map_err(|e| Stop::Error(e.into()))
-            })
-            .collect::<Result<_, Stop>>()?;
-        angle.push(flags);
-        enabled[id] = match enabled_with {
-            Some(pred) => pred.holds_state(s).map_err(CheckError::from)?,
-            None => system
-                .universe()
-                .enabled(&angle_expr, s)
-                .map_err(CheckError::from)?,
-        };
+impl LivenessOptions {
+    /// Requests `n` workers.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
     }
-    Ok((angle, enabled))
+
+    /// Overrides the small-graph sequential cutoff.
+    pub fn small_graph_cutoff(mut self, states: usize) -> Self {
+        self.small_graph_cutoff = Some(states);
+        self
+    }
+
+    /// The worker count to actually use for a graph of `graph_len`
+    /// states.
+    fn resolve_threads(&self, graph_len: usize) -> usize {
+        let requested = self
+            .threads
+            .or_else(crate::explore::env_threads)
+            .unwrap_or(1)
+            .max(1);
+        let cutoff = self
+            .small_graph_cutoff
+            .unwrap_or(LIVENESS_SMALL_GRAPH_CUTOFF);
+        if graph_len < cutoff {
+            1
+        } else {
+            requested
+        }
+    }
 }
 
-/// What the violating cycle must look like, beyond fairness.
-struct Violation {
+/// Per-fairness-requirement facts about the graph live in [`fair`];
+/// what the violating cycle must look like, beyond fairness:
+pub(crate) struct Violation {
     /// Description for the counterexample.
     reason: String,
     /// States the cycle may visit.
@@ -222,6 +243,29 @@ struct Violation {
     /// The cycle must contain a state from this set (`None` = no
     /// requirement).
     must_contain: Option<Vec<bool>>,
+}
+
+/// FNV-1a over the violation's restriction tables: pins a
+/// [`LiveSnapshot`] to the target it was taken under (resuming a
+/// `◇P` run into a `□◇P` check would silently mis-skip components).
+/// A structural hash of the liveness target, pinning snapshots to the
+/// target they were taken under.
+///
+/// The restriction tables are a deterministic function of (system,
+/// graph, target), and the snapshot header already pins the first two,
+/// so structural target equality implies identical tables — and unlike
+/// a table-content hash it is available *before* the tables are built,
+/// which lets a run interrupted mid table construction still write a
+/// resumable snapshot. Hashing the `Debug` rendering is stable for a
+/// given crate version; snapshots are already version-gated by
+/// [`LIVE_SNAPSHOT_VERSION`](crate::LIVE_SNAPSHOT_VERSION).
+fn live_target_hash(target: &LiveTarget) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{target:?}").as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Checks a liveness property of the system.
@@ -285,8 +329,10 @@ pub struct LivenessRun {
     /// early) is authoritative.
     pub verdict: Option<Verdict>,
     /// How the run ended. On exhaustion, `frontier_size` counts the
-    /// pending work items (states or components not yet analyzed) at
-    /// the point the budget ran out, where cheaply known.
+    /// pending work items of the interrupted phase exactly: states
+    /// whose fairness-table rows were not yet committed, subgraph
+    /// nodes the SCC pass had not yet visited, or components not yet
+    /// analyzed.
     pub outcome: Outcome,
 }
 
@@ -304,6 +350,10 @@ impl Governed for LivenessRun {
 /// [`Outcome::Exhausted`] tag — never a hard error — so callers can
 /// [`escalate`](crate::escalate) or report partial coverage.
 ///
+/// Engine selection follows [`LivenessOptions::default`]: sequential
+/// unless `OPENTLA_EXPLORE_THREADS` requests workers and the graph
+/// clears the small-graph cutoff.
+///
 /// # Errors
 ///
 /// Propagates evaluation errors, as [`check_liveness`] does.
@@ -312,6 +362,68 @@ pub fn check_liveness_governed(
     graph: &StateGraph,
     target: &LiveTarget,
     budget: &Budget,
+) -> Result<LivenessRun, CheckError> {
+    check_liveness_governed_with(system, graph, target, budget, &LivenessOptions::default())
+}
+
+/// [`check_liveness_governed`] with explicit engine selection.
+///
+/// # Errors
+///
+/// Propagates evaluation errors, as [`check_liveness`] does.
+pub fn check_liveness_governed_with(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+    budget: &Budget,
+    options: &LivenessOptions,
+) -> Result<LivenessRun, CheckError> {
+    liveness_driver(system, graph, target, budget, options, None)
+}
+
+/// Runs a liveness check that can continue an interrupted one: if the
+/// budget's checkpoint path holds a [`LiveSnapshot`], the components
+/// it cleared are skipped (after validating that the snapshot matches
+/// this system, graph, and target), and the meter is pre-charged with
+/// the snapshot's banked transitions so escalation budgets compose the
+/// way they do for exploration.
+///
+/// # Errors
+///
+/// [`CheckError::Precondition`] without a checkpoint spec on the
+/// budget; a [`CheckpointError`](crate::CheckpointError) (via
+/// [`CheckError`]) when the snapshot exists but is corrupt or was
+/// taken under a different system/graph/target; evaluation errors as
+/// [`check_liveness`].
+pub fn check_liveness_resumable(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+    budget: &Budget,
+    options: &LivenessOptions,
+) -> Result<LivenessRun, CheckError> {
+    let Some(spec) = &budget.checkpoint else {
+        return Err(CheckError::Precondition {
+            message: "check_liveness_resumable requires a budget with a checkpoint \
+                      spec (Budget::with_checkpoint)"
+                .to_string(),
+        });
+    };
+    if spec.path.exists() {
+        let snap = LiveSnapshot::load(&spec.path)?;
+        liveness_driver(system, graph, target, budget, options, Some(&snap))
+    } else {
+        liveness_driver(system, graph, target, budget, options, None)
+    }
+}
+
+fn liveness_driver(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+    budget: &Budget,
+    options: &LivenessOptions,
+    resume: Option<&LiveSnapshot>,
 ) -> Result<LivenessRun, CheckError> {
     // Liveness on a reduced graph hits the *ignoring problem*: an ample
     // set may defer an action forever along a cycle, and symmetry edges
@@ -327,16 +439,32 @@ pub fn check_liveness_governed(
                 .to_string(),
         });
     }
-    let _phase = crate::obs::PhaseGuard::enter(&budget.recorder, crate::obs::Phase::Liveness);
-    let mut meter = Meter::start(budget);
-    let decided = (|| -> Result<Verdict, Stop> {
-        let violation = build_violation(system, graph, target, &mut meter)?;
-        let fair_infos = system_fair_infos(system, graph, &mut meter)?;
-        match find_violation(system, graph, &fair_infos, &violation, &mut meter)? {
-            Some(cx) => Ok(Verdict::Violated(cx)),
-            None => Ok(Verdict::Holds),
-        }
-    })();
+    if let Some(snap) = resume {
+        snap.validate(system, graph)?;
+    }
+    let _phase = PhaseGuard::enter(&budget.recorder, Phase::Liveness);
+    let threads = options.resolve_threads(graph.len());
+    let charge = if resume.is_some() {
+        Charge::Banked
+    } else {
+        Charge::Metered
+    };
+    let meter = match resume {
+        Some(snap) => Meter::start_resumed(budget, 0, snap.transitions_used() as usize),
+        None => Meter::start(budget),
+    };
+    let mut ck = LiveCheckpointer::new(budget, system, graph, resume.map_or(0, LiveSnapshot::seq));
+    let decided = decide(
+        system,
+        graph,
+        target,
+        &budget.recorder,
+        &meter,
+        charge,
+        threads,
+        resume,
+        &mut ck,
+    );
     if let Ok(Verdict::Violated(cx)) = &decided {
         crate::obs::emit_counterexample(&budget.recorder, "liveness", cx);
     }
@@ -345,16 +473,212 @@ pub fn check_liveness_governed(
             verdict: Some(verdict),
             outcome: Outcome::Complete,
         }),
-        Err(Stop::Exhausted { reason, pending }) => Ok(LivenessRun {
-            verdict: None,
-            outcome: Outcome::Exhausted {
-                reason,
-                frontier_size: pending,
-                stats: graph.stats(),
-                resume: None,
-            },
-        }),
+        Err(Stop::Exhausted { reason, pending }) => {
+            let mut token = ck.take_token();
+            if token.is_none() {
+                match (resume, &budget.checkpoint) {
+                    // A prior leg's snapshot is on disk and still
+                    // authoritative (this leg exhausted before clearing
+                    // anything new) — point the token at it rather than
+                    // overwriting its progress.
+                    (Some(snap), Some(spec)) => {
+                        token = Some(ResumeToken {
+                            path: spec.path.clone(),
+                            seq: snap.seq(),
+                        });
+                    }
+                    // Exhausted before the first component was cleared
+                    // (e.g. mid table construction): persist an
+                    // empty-progress snapshot so the interruption is
+                    // still resumable — it banks the transitions spent
+                    // and pins the target.
+                    (None, Some(_)) => {
+                        ck.write(&[], &meter);
+                        token = ck.take_token();
+                    }
+                    (_, None) => {}
+                }
+            }
+            Ok(LivenessRun {
+                verdict: None,
+                outcome: Outcome::Exhausted {
+                    reason,
+                    frontier_size: pending,
+                    stats: graph.stats(),
+                    resume: token,
+                },
+            })
+        }
         Err(Stop::Error(e)) => Err(e),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    system: &System,
+    graph: &StateGraph,
+    target: &LiveTarget,
+    recorder: &RecorderHandle,
+    meter: &Meter,
+    charge: Charge,
+    threads: usize,
+    resume: Option<&LiveSnapshot>,
+    ck: &mut LiveCheckpointer<'_>,
+) -> Result<Verdict, Stop> {
+    // Pin the target *before* the tables are built, so a run
+    // interrupted mid table construction can still write a resumable
+    // snapshot, and a mismatched resume fails before any table work.
+    ck.set_target_hash(live_target_hash(target));
+    if let Some(snap) = resume {
+        snap.validate_target(ck.target_hash)
+            .map_err(|e| Stop::Error(e.into()))?;
+        if recorder.enabled() {
+            recorder.record(&Event::Resume {
+                seq: snap.seq(),
+                states: graph.len() as u64,
+                transitions: snap.transitions_used(),
+                frontier: snap.components() - snap.cleared().len() as u64,
+            });
+        }
+    }
+    let violation = build_violation(system, graph, target, meter, charge, threads)?;
+    let fair_infos = fair::system_fair_infos(system, graph, meter, charge, threads)?;
+    let found = if threads > 1 {
+        par::find_violation_par(
+            system,
+            graph,
+            &fair_infos,
+            &violation,
+            meter,
+            threads,
+            charge,
+            resume,
+            ck,
+            recorder,
+        )?
+    } else {
+        find_violation(
+            system,
+            graph,
+            &fair_infos,
+            &violation,
+            meter,
+            charge,
+            resume,
+            ck,
+        )?
+    };
+    match found {
+        Some(cx) => Ok(Verdict::Violated(cx)),
+        None => Ok(Verdict::Holds),
+    }
+}
+
+/// The liveness engines' checkpoint driver: counts cleared components
+/// against the cadence, stamps sequence numbers, writes
+/// [`LiveSnapshot`]s, and emits [`Event::Checkpoint`]. A write failure
+/// is reported once on stderr and disables further writes —
+/// checkpointing is a best-effort safety net, never a reason to abort
+/// a healthy run.
+pub(crate) struct LiveCheckpointer<'a> {
+    spec: Option<CheckpointSpec>,
+    recorder: &'a RecorderHandle,
+    system_hash: u64,
+    graph_states: u64,
+    graph_transitions: u64,
+    target_hash: u64,
+    seq: u64,
+    since: u64,
+    failed: bool,
+    token: Option<ResumeToken>,
+}
+
+impl<'a> LiveCheckpointer<'a> {
+    fn new(budget: &'a Budget, system: &System, graph: &StateGraph, base_seq: u64) -> Self {
+        let stats = if budget.checkpoint.is_some() {
+            graph.stats().transitions as u64
+        } else {
+            0 // Not consulted without a spec; skip the O(V + E) count.
+        };
+        LiveCheckpointer {
+            spec: budget.checkpoint.clone(),
+            recorder: &budget.recorder,
+            system_hash: system_hash(system),
+            graph_states: graph.len() as u64,
+            graph_transitions: stats,
+            target_hash: 0,
+            seq: base_seq,
+            since: 0,
+            failed: false,
+            token: None,
+        }
+    }
+
+    fn set_target_hash(&mut self, hash: u64) {
+        self.target_hash = hash;
+    }
+
+    /// Records `n` more cleared components; true when a periodic
+    /// snapshot is due (the counter resets on the next write).
+    pub(crate) fn due(&mut self, n: u64) -> bool {
+        match &self.spec {
+            Some(spec) if !self.failed => {
+                self.since += n;
+                self.since >= spec.cadence
+            }
+            _ => false,
+        }
+    }
+
+    /// Writes the cleared-component set to the configured path and
+    /// emits [`Event::Checkpoint`] (`frontier` = components still
+    /// pending). No-op without a spec or after a write failure.
+    pub(crate) fn write(&mut self, cleared: &[bool], meter: &Meter) {
+        let Some(spec) = self.spec.clone() else {
+            return;
+        };
+        if self.failed {
+            return;
+        }
+        self.seq += 1;
+        self.since = 0;
+        let cleared_ids: Vec<u64> = cleared
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.then_some(i as u64))
+            .collect();
+        let pending = cleared.len() as u64 - cleared_ids.len() as u64;
+        let snap = LiveSnapshot {
+            system_hash: self.system_hash,
+            graph_states: self.graph_states,
+            graph_transitions: self.graph_transitions,
+            target_hash: self.target_hash,
+            seq: self.seq,
+            transitions_used: meter.transitions_used() as u64,
+            components: cleared.len() as u64,
+            cleared: cleared_ids,
+        };
+        if let Err(e) = snap.save(&spec.path) {
+            eprintln!("opentla-check: liveness checkpointing disabled: {e}");
+            self.failed = true;
+            return;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Checkpoint {
+                seq: self.seq,
+                states: self.graph_states,
+                transitions: snap.transitions_used,
+                frontier: pending,
+            });
+        }
+        self.token = Some(ResumeToken {
+            path: spec.path,
+            seq: self.seq,
+        });
+    }
+
+    fn take_token(&mut self) -> Option<ResumeToken> {
+        self.token.take()
     }
 }
 
@@ -370,13 +694,22 @@ fn build_violation(
     system: &System,
     graph: &StateGraph,
     target: &LiveTarget,
-    meter: &mut Meter,
+    meter: &Meter,
+    charge: Charge,
+    threads: usize,
 ) -> Result<Violation, Stop> {
     let all = vec![true; graph.len()];
     Ok(match target {
         LiveTarget::Fair { fair, enabled_with } => {
-            let (angle, enabled) =
-                target_fair_info(system, graph, fair, enabled_with.as_ref(), meter)?;
+            let (angle, enabled) = fair::target_fair_info(
+                system,
+                graph,
+                fair,
+                enabled_with.as_ref(),
+                meter,
+                charge,
+                threads,
+            )?;
             let not_angle: Vec<Vec<bool>> = angle
                 .iter()
                 .map(|row| row.iter().map(|b| !b).collect())
@@ -467,21 +800,16 @@ fn build_violation(
     })
 }
 
-/// A witness that a fairness requirement is satisfied by the cycle.
-#[derive(Clone, Copy, Debug)]
-enum Waypoint {
-    /// Traverse this edge (source node, index into its edge list).
-    Edge(usize, usize),
-    /// Visit this node.
-    Node(usize),
-}
-
+#[allow(clippy::too_many_arguments)]
 fn find_violation(
     system: &System,
     graph: &StateGraph,
     fair_infos: &[FairInfo],
     v: &Violation,
-    meter: &mut Meter,
+    meter: &Meter,
+    charge: Charge,
+    resume: Option<&LiveSnapshot>,
+    ck: &mut LiveCheckpointer<'_>,
 ) -> Result<Option<Counterexample>, Stop> {
     if v.starts.is_empty() {
         return Ok(None);
@@ -492,208 +820,76 @@ fn find_violation(
             && v.cycle_edge_ok.as_ref().is_none_or(|rows| rows[s][i])
     };
     // SCCs of the restricted graph.
-    let sccs = tarjan_sccs(graph, &v.cycle_node_ok, &edge_ok, meter)?;
+    let mut scratch = SccScratch::new();
+    let sccs = scc::tarjan_sccs(graph, &v.cycle_node_ok, &edge_ok, meter, charge, &mut scratch)?;
+    if let Some(snap) = resume {
+        snap.validate_components(sccs.len() as u64)
+            .map_err(|e| Stop::Error(e.into()))?;
+    }
     // Which states can begin the violating suffix (path constraint).
     let path_region = reachable_from(graph, &v.starts, v.path_node_ok.as_deref());
-    for (done, scc) in sccs.iter().enumerate() {
+    let total = sccs.len();
+    let mut cleared = vec![false; total];
+    let mut done = 0usize;
+    if let Some(snap) = resume {
+        for &i in snap.cleared() {
+            let i = i as usize;
+            if i < total && !cleared[i] {
+                cleared[i] = true;
+                done += 1;
+            }
+        }
+    }
+    for (idx, scc_nodes) in sccs.iter().enumerate() {
+        if cleared[idx] {
+            continue;
+        }
         if let Some(reason) = meter.checkpoint() {
+            ck.write(&cleared, meter);
             return Err(Stop::Exhausted {
                 reason,
-                pending: sccs.len() - done,
+                pending: total - done,
             });
         }
-        if let Some((nodes, waypoints)) =
-            fair_subcomponent(graph, fair_infos, &edge_ok, scc, v.must_contain.as_deref(), meter)?
-        {
-            // Entry: a node of the component reachable under the path
-            // constraint.
-            let Some(&entry) = nodes.iter().find(|n| path_region[**n]) else {
-                continue;
-            };
-            return Ok(Some(build_counterexample(
-                system, graph, v, &nodes, &waypoints, entry, &edge_ok,
-            )));
+        match fair_subcomponent(
+            graph,
+            fair_infos,
+            &edge_ok,
+            scc_nodes,
+            v.must_contain.as_deref(),
+            meter,
+            &mut scratch,
+        ) {
+            Err(stop) => {
+                if matches!(stop, Stop::Exhausted { .. }) {
+                    ck.write(&cleared, meter);
+                }
+                return Err(stop.with_pending(total - done));
+            }
+            Ok(Some((nodes, waypoints))) => {
+                // Entry: a node of the component reachable under the
+                // path constraint.
+                if let Some(&entry) = nodes.iter().find(|n| path_region[**n]) {
+                    return Ok(Some(build_counterexample(
+                        system, graph, v, &nodes, &waypoints, entry, &edge_ok,
+                    )));
+                }
+                cleared[idx] = true;
+                done += 1;
+                if ck.due(1) {
+                    ck.write(&cleared, meter);
+                }
+            }
+            Ok(None) => {
+                cleared[idx] = true;
+                done += 1;
+                if ck.due(1) {
+                    ck.write(&cleared, meter);
+                }
+            }
         }
     }
     Ok(None)
-}
-
-/// A fair node set plus one waypoint per fairness requirement that
-/// needs an explicit witness.
-type FairWitness = (Vec<usize>, Vec<Waypoint>);
-
-/// Depth-first search for a strongly connected node set (within `scc`)
-/// in which every fairness requirement is satisfiable and the
-/// `must_contain` requirement holds. Returns the node set plus one
-/// waypoint per fairness requirement that needs an explicit witness.
-fn fair_subcomponent(
-    graph: &StateGraph,
-    fair_infos: &[FairInfo],
-    edge_ok: &dyn Fn(usize, usize) -> bool,
-    scc: &[usize],
-    must_contain: Option<&[bool]>,
-    meter: &mut Meter,
-) -> Result<Option<FairWitness>, Stop> {
-    if let Some(reason) = meter.checkpoint() {
-        return Err(Stop::exhausted(reason));
-    }
-    if let Some(req) = must_contain {
-        if !scc.iter().any(|n| req[*n]) {
-            return Ok(None);
-        }
-    }
-    let in_scc = |n: usize| scc.contains(&n);
-    let mut waypoints = Vec::new();
-    if let Some(req) = must_contain {
-        let node = scc.iter().copied().find(|n| req[*n]).expect("checked");
-        waypoints.push(Waypoint::Node(node));
-    }
-    for info in fair_infos {
-        // An internal ⟨A⟩_v edge satisfies both WF and SF.
-        let mut edge_witness = None;
-        'search: for &s in scc {
-            for (i, e) in graph.edges(s).iter().enumerate() {
-                if let Some(reason) = meter.charge_transition() {
-                    return Err(Stop::exhausted(reason));
-                }
-                if info.angle[s][i] && edge_ok(s, i) && in_scc(e.target) {
-                    edge_witness = Some(Waypoint::Edge(s, i));
-                    break 'search;
-                }
-            }
-        }
-        if let Some(w) = edge_witness {
-            waypoints.push(w);
-            continue;
-        }
-        match info.kind {
-            FairnessKind::Weak => {
-                // A state where the action is disabled, visited
-                // infinitely often, also satisfies WF.
-                match scc.iter().copied().find(|n| !info.enabled[*n]) {
-                    Some(n) => waypoints.push(Waypoint::Node(n)),
-                    None => return Ok(None), // WF unsatisfiable here and in any subset.
-                }
-            }
-            FairnessKind::Strong => {
-                // SF needs *no* enabled state in the cycle. If some are
-                // enabled, remove them and recurse on the
-                // sub-components (Streett decomposition).
-                if scc.iter().all(|n| !info.enabled[*n]) {
-                    continue; // Satisfied without a waypoint.
-                }
-                let survivors: Vec<usize> = scc
-                    .iter()
-                    .copied()
-                    .filter(|n| !info.enabled[*n])
-                    .collect();
-                if survivors.is_empty() {
-                    return Ok(None);
-                }
-                let mut node_ok = vec![false; graph.len()];
-                for &n in &survivors {
-                    node_ok[n] = true;
-                }
-                let sub_edge_ok =
-                    |s: usize, i: usize| edge_ok(s, i) && node_ok[graph.edges(s)[i].target];
-                for sub in tarjan_sccs(graph, &node_ok, &sub_edge_ok, meter)? {
-                    if let Some(found) = fair_subcomponent(
-                        graph,
-                        fair_infos,
-                        edge_ok,
-                        &sub,
-                        must_contain,
-                        meter,
-                    )? {
-                        return Ok(Some(found));
-                    }
-                }
-                return Ok(None);
-            }
-        }
-    }
-    Ok(Some((scc.to_vec(), waypoints)))
-}
-
-/// Iterative Tarjan over the restricted graph. Single nodes form
-/// components of their own (TLA behaviors may stutter forever, so every
-/// node carries an implicit self-loop).
-fn tarjan_sccs(
-    graph: &StateGraph,
-    node_ok: &[bool],
-    edge_ok: &dyn Fn(usize, usize) -> bool,
-    meter: &mut Meter,
-) -> Result<Vec<Vec<usize>>, Stop> {
-    let n = graph.len();
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut sccs: Vec<Vec<usize>> = Vec::new();
-
-    // Explicit DFS stack: (node, next edge position).
-    for root in 0..n {
-        if !node_ok[root] || index[root] != usize::MAX {
-            continue;
-        }
-        if let Some(reason) = meter.checkpoint() {
-            return Err(Stop::exhausted(reason));
-        }
-        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
-        index[root] = next_index;
-        low[root] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root] = true;
-        while let Some((node, pos)) = dfs.last_mut() {
-            let node = *node;
-            let edges = graph.edges(node);
-            if *pos < edges.len() {
-                let i = *pos;
-                *pos += 1;
-                if let Some(reason) = meter.charge_transition() {
-                    return Err(Stop::exhausted(reason));
-                }
-                if !edge_ok(node, i) {
-                    continue;
-                }
-                let t = edges[i].target;
-                if !node_ok[t] {
-                    continue;
-                }
-                if index[t] == usize::MAX {
-                    index[t] = next_index;
-                    low[t] = next_index;
-                    next_index += 1;
-                    stack.push(t);
-                    on_stack[t] = true;
-                    dfs.push((t, 0));
-                } else if on_stack[t] {
-                    low[node] = low[node].min(index[t]);
-                }
-            } else {
-                dfs.pop();
-                if let Some((parent, _)) = dfs.last() {
-                    low[*parent] = low[*parent].min(low[node]);
-                }
-                if low[node] == index[node] {
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack invariant");
-                        on_stack[w] = false;
-                        comp.push(w);
-                        if w == node {
-                            break;
-                        }
-                    }
-                    comp.sort_unstable();
-                    sccs.push(comp);
-                }
-            }
-        }
-    }
-    Ok(sccs)
 }
 
 /// States reachable from `starts` through states satisfying
@@ -1222,5 +1418,160 @@ mod tests {
         assert!(check_liveness(&sys, &graph, &LiveTarget::Eventually(p))
             .unwrap()
             .holds());
+    }
+
+    #[test]
+    fn small_graphs_route_sequentially() {
+        // Below the cutoff the requested thread count is ignored.
+        let opts = LivenessOptions::default().threads(4);
+        assert_eq!(opts.resolve_threads(10), 1);
+        assert_eq!(opts.resolve_threads(LIVENESS_SMALL_GRAPH_CUTOFF), 4);
+        // An explicit zero cutoff forces the parallel engine anywhere.
+        let opts = LivenessOptions::default().threads(4).small_graph_cutoff(0);
+        assert_eq!(opts.resolve_threads(10), 4);
+        // Unset thread count resolves to at least one worker.
+        let opts = LivenessOptions::default().small_graph_cutoff(0);
+        assert!(opts.resolve_threads(10) >= 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_exact_pending_in_tables() {
+        use crate::Budget;
+        // The counter graph has 4 states; a transition budget of 1
+        // exhausts while building the fairness-table row of state 1,
+        // leaving rows 1..4 (3 states) pending. The old engine
+        // hardcoded 0 here.
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3)));
+        let run = check_liveness_governed(
+            &sys,
+            &graph,
+            &target,
+            &Budget::default().transitions(1),
+        )
+        .unwrap();
+        assert!(run.verdict.is_none());
+        match &run.outcome {
+            Outcome::Exhausted { frontier_size, .. } => assert_eq!(*frontier_size, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_reports_exact_pending_in_scc_pass() {
+        use crate::Budget;
+        // Tables cost 3 transitions (one per real edge); the 4th charge
+        // visits the SCC pass, which exhausts its 2nd edge probe with
+        // node 2 (of the 3-node restricted subgraph) still unvisited.
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3)));
+        let run = check_liveness_governed(
+            &sys,
+            &graph,
+            &target,
+            &Budget::default().transitions(4),
+        )
+        .unwrap();
+        assert!(run.verdict.is_none());
+        match &run.outcome {
+            Outcome::Exhausted { frontier_size, .. } => assert_eq!(*frontier_size, 1),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_reports_exact_pending_in_component_loop() {
+        use crate::Budget;
+        // Tables (3) + SCC pass (3) + the first component's fairness
+        // scan (1) fit in 7 transitions; the second of three components
+        // exhausts, so exactly 2 remain pending.
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3)));
+        let run = check_liveness_governed(
+            &sys,
+            &graph,
+            &target,
+            &Budget::default().transitions(7),
+        )
+        .unwrap();
+        assert!(run.verdict.is_none());
+        assert!(matches!(
+            run.outcome.exhaustion(),
+            Some(crate::ExhaustReason::TransitionLimit { limit: 7 })
+        ));
+        match &run.outcome {
+            Outcome::Exhausted { frontier_size, .. } => assert_eq!(*frontier_size, 2),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_hash_distinguishes_targets() {
+        let (_, x) = counter(true);
+        let p = Expr::var(x).eq(Expr::int(3));
+        let mut hashes: Vec<u64> = [
+            LiveTarget::Eventually(p.clone()),
+            LiveTarget::AlwaysEventually(p.clone()),
+            LiveTarget::EventuallyAlways(p.clone()),
+            LiveTarget::LeadsTo(Expr::var(x).eq(Expr::int(1)), p.clone()),
+            LiveTarget::Eventually(Expr::var(x).eq(Expr::int(2))),
+        ]
+        .iter()
+        .map(live_target_hash)
+        .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 5, "each target hashes distinctly");
+        // The hash is a pure function of the target's structure.
+        assert_eq!(
+            live_target_hash(&LiveTarget::Eventually(p.clone())),
+            live_target_hash(&LiveTarget::Eventually(p)),
+        );
+    }
+
+    #[test]
+    fn resumable_requires_checkpoint_budget() {
+        use crate::Budget;
+        let (sys, x) = counter(true);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let err = check_liveness_resumable(
+            &sys,
+            &graph,
+            &LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3))),
+            &Budget::default(),
+            &LivenessOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckError::Precondition { .. }));
+    }
+
+    #[test]
+    fn forced_parallel_engine_matches_sequential_on_tiny_graph() {
+        use crate::Budget;
+        let (sys, x) = counter(false);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = LiveTarget::Eventually(Expr::var(x).eq(Expr::int(3)));
+        let seq = check_liveness(&sys, &graph, &target).unwrap();
+        let par = check_liveness_governed_with(
+            &sys,
+            &graph,
+            &target,
+            &Budget::unlimited(),
+            &LivenessOptions::default().threads(4).small_graph_cutoff(0),
+        )
+        .unwrap()
+        .verdict
+        .expect("unlimited budget decides");
+        let (s, p) = (
+            seq.counterexample().expect("◇ fails without fairness"),
+            par.counterexample().expect("engines agree on the verdict"),
+        );
+        assert_eq!(s.reason(), p.reason());
+        assert_eq!(s.states(), p.states());
+        assert_eq!(s.actions(), p.actions());
+        assert_eq!(s.loop_start(), p.loop_start());
     }
 }

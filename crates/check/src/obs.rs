@@ -320,6 +320,16 @@ pub enum Event<'a> {
         /// Frontier states awaiting expansion.
         frontier: u64,
     },
+    /// A parallel liveness worker finished its component-claiming
+    /// loop.
+    LivenessWorker {
+        /// Worker index.
+        worker: usize,
+        /// Components the worker claimed and analyzed.
+        components: u64,
+        /// Fairness-satisfiable violation candidates it found.
+        candidates: u64,
+    },
     /// The engine run ended; carries the full report.
     RunEnd {
         /// The final report.
@@ -343,6 +353,7 @@ impl Event<'_> {
             Event::Checkpoint { .. } => "checkpoint",
             Event::WorkerFailure { .. } => "worker_failure",
             Event::Resume { .. } => "resume",
+            Event::LivenessWorker { .. } => "liveness_worker",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -407,6 +418,7 @@ pub struct CountingRecorder {
     checkpoints: AtomicU64,
     worker_failures: AtomicU64,
     resumes: AtomicU64,
+    liveness_workers: AtomicU64,
     /// Ample/full/skipped/canon totals of the most recent reduction
     /// event.
     red_ample_states: AtomicU64,
@@ -446,6 +458,7 @@ impl CountingRecorder {
             checkpoints: AtomicU64::new(0),
             worker_failures: AtomicU64::new(0),
             resumes: AtomicU64::new(0),
+            liveness_workers: AtomicU64::new(0),
             red_ample_states: AtomicU64::new(0),
             red_full_states: AtomicU64::new(0),
             red_skipped_transitions: AtomicU64::new(0),
@@ -520,6 +533,11 @@ impl CountingRecorder {
     /// Resume events recorded.
     pub fn resumes(&self) -> u64 {
         self.resumes.load(Ordering::Relaxed)
+    }
+
+    /// Liveness-worker summaries recorded.
+    pub fn liveness_worker_events(&self) -> u64 {
+        self.liveness_workers.load(Ordering::Relaxed)
     }
 
     /// `(ample_states, full_states, skipped_transitions, canon_hits)`
@@ -605,6 +623,9 @@ impl Recorder for CountingRecorder {
             }
             Event::Resume { .. } => {
                 self.resumes.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::LivenessWorker { .. } => {
+                self.liveness_workers.fetch_add(1, Ordering::Relaxed);
             }
             Event::PhaseEnter { phase } => {
                 self.phase_entered[phase.index()]
@@ -820,6 +841,16 @@ impl Recorder for JsonlRecorder {
             } => {
                 body.push_str(&format!(
                     ",\"worker\":{worker},\"level\":{level},\"requeued\":{requeued}"
+                ));
+            }
+            Event::LivenessWorker {
+                worker,
+                components,
+                candidates,
+            } => {
+                body.push_str(&format!(
+                    ",\"worker\":{worker},\"components\":{components},\
+                     \"candidates\":{candidates}"
                 ));
             }
             Event::RunEnd { report } => {
@@ -1460,6 +1491,11 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 req_u64(&obj, "level", line)?;
                 req_u64(&obj, "requeued", line)?;
             }
+            "liveness_worker" => {
+                req_u64(&obj, "worker", line)?;
+                req_u64(&obj, "components", line)?;
+                req_u64(&obj, "candidates", line)?;
+            }
             other => return Err(format!("line {line}: unknown event kind \"{other}\"")),
         }
     }
@@ -1581,6 +1617,43 @@ mod tests {
         assert_eq!(summary.runs[0].states, 3);
         assert_eq!(summary.kinds["progress"], 1);
         assert_eq!(summary.max_phase_depth, 1);
+    }
+
+    #[test]
+    fn liveness_worker_event_counts_serializes_and_validates() {
+        let rec = CountingRecorder::new();
+        rec.record(&Event::LivenessWorker {
+            worker: 2,
+            components: 17,
+            candidates: 1,
+        });
+        assert_eq!(rec.liveness_worker_events(), 1);
+        assert_eq!(rec.events(), 1);
+
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = JsonlRecorder::from_writer(Shared(Arc::clone(&buf)));
+        rec.record(&Event::LivenessWorker {
+            worker: 2,
+            components: 17,
+            candidates: 1,
+        });
+        rec.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let summary = validate_stream(&text).expect("stream validates");
+        assert_eq!(summary.kinds["liveness_worker"], 1);
+        // The fields are required: dropping one fails validation.
+        let bad = "{\"v\":1,\"t\":1,\"ev\":\"liveness_worker\",\"worker\":0,\"components\":3}\n";
+        assert!(validate_stream(bad).unwrap_err().contains("candidates"));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Property-based tests for the liveness engines over randomly
+//! generated flip-systems carrying randomly sampled fairness sets:
+//!
+//! * the parallel engine's verdict and lasso equal the sequential
+//!   engine's, for every sampled system × fairness set × target;
+//! * the strong-fairness removal recursion (the Streett decomposition)
+//!   terminates on arbitrary SF sets — the checks return, they don't
+//!   spin or overflow;
+//! * `LivenessRun.frontier_size` under exhaustion is exact pending
+//!   work: deterministic across identical runs, engine-independent,
+//!   bounded by the graph, and the run completes monotonically once
+//!   the budget clears the true total — no `pending: 0` placeholders
+//!   masquerading as progress.
+
+use opentla_check::{
+    check_liveness, check_liveness_governed_with, explore, Budget, ExhaustReason,
+    ExploreOptions, GuardedAction, Init, LiveTarget, LivenessOptions, Outcome, System,
+    SystemFairness, Verdict,
+};
+use opentla_kernel::{Domain, Expr, Fairness, Value, VarId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct ActionSpec {
+    guard_var: usize,
+    guard_val: i64,
+    target_var: usize,
+    update: UpdateKind,
+}
+
+#[derive(Clone, Debug)]
+enum UpdateKind {
+    Constant(i64),
+    CopyOther,
+    Toggle,
+}
+
+/// Which actions get a fairness requirement, and of which kind.
+#[derive(Clone, Debug)]
+struct FairSpec {
+    action: usize,
+    strong: bool,
+}
+
+#[derive(Clone, Debug)]
+enum TargetSpec {
+    Eventually(i64),
+    AlwaysEventually(i64),
+    LeadsTo(i64, i64),
+    FairFirst { strong: bool },
+}
+
+fn arb_action_spec() -> impl Strategy<Value = ActionSpec> {
+    (
+        0..2usize,
+        0..2i64,
+        0..2usize,
+        prop_oneof![
+            (0..2i64).prop_map(UpdateKind::Constant),
+            Just(UpdateKind::CopyOther),
+            Just(UpdateKind::Toggle),
+        ],
+    )
+        .prop_map(|(guard_var, guard_val, target_var, update)| ActionSpec {
+            guard_var,
+            guard_val,
+            target_var,
+            update,
+        })
+}
+
+fn arb_fair_spec(actions: usize) -> impl Strategy<Value = FairSpec> {
+    (0..actions, any::<bool>()).prop_map(|(action, strong)| FairSpec { action, strong })
+}
+
+fn arb_target() -> impl Strategy<Value = TargetSpec> {
+    prop_oneof![
+        (0..2i64).prop_map(TargetSpec::Eventually),
+        (0..2i64).prop_map(TargetSpec::AlwaysEventually),
+        (0..2i64, 0..2i64).prop_map(|(p, q)| TargetSpec::LeadsTo(p, q)),
+        any::<bool>().prop_map(|strong| TargetSpec::FairFirst { strong }),
+    ]
+}
+
+/// A two-bit flip-system from the sampled action specs, with the
+/// sampled fairness requirements attached (subscript = the variables
+/// the action writes).
+fn build_system(specs: &[ActionSpec], fair: &[FairSpec]) -> System {
+    let mut vars = opentla_kernel::Vars::new();
+    let a = vars.declare("a", Domain::bits());
+    let b = vars.declare("b", Domain::bits());
+    let ids = [a, b];
+    let actions: Vec<GuardedAction> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let target = ids[spec.target_var];
+            let other = ids[1 - spec.target_var];
+            let update = match spec.update {
+                UpdateKind::Constant(v) => Expr::int(v),
+                UpdateKind::CopyOther => Expr::var(other),
+                UpdateKind::Toggle => Expr::int(1).sub(Expr::var(target)),
+            };
+            GuardedAction::new(
+                format!("act{i}"),
+                Expr::var(ids[spec.guard_var]).eq(Expr::int(spec.guard_val)),
+                vec![(target, update)],
+            )
+        })
+        .collect();
+    let subs: Vec<Vec<VarId>> = actions
+        .iter()
+        .map(|ga| ga.touched().collect())
+        .collect();
+    let mut sys = System::new(
+        vars,
+        Init::new([(a, Value::Int(0)), (b, Value::Int(0))]),
+        actions,
+    );
+    for f in fair {
+        let i = f.action % specs.len();
+        let req = if f.strong {
+            SystemFairness::strong(vec![i], subs[i].clone())
+        } else {
+            SystemFairness::weak(vec![i], subs[i].clone())
+        };
+        sys = sys.with_fairness(req);
+    }
+    sys
+}
+
+fn build_target(sys: &System, spec: &TargetSpec) -> LiveTarget {
+    let a = sys.vars().find("a").unwrap();
+    match spec {
+        TargetSpec::Eventually(v) => LiveTarget::Eventually(Expr::var(a).eq(Expr::int(*v))),
+        TargetSpec::AlwaysEventually(v) => {
+            LiveTarget::AlwaysEventually(Expr::var(a).eq(Expr::int(*v)))
+        }
+        TargetSpec::LeadsTo(p, q) => LiveTarget::LeadsTo(
+            Expr::var(a).eq(Expr::int(*p)),
+            Expr::var(a).eq(Expr::int(*q)),
+        ),
+        TargetSpec::FairFirst { strong } => {
+            let frame = sys.frame();
+            let ga = &sys.actions()[0];
+            let expr = ga.action_expr(&frame);
+            let sub: Vec<VarId> = ga.touched().collect();
+            LiveTarget::fair(if *strong {
+                Fairness::strong(expr, sub)
+            } else {
+                Fairness::weak(expr, sub)
+            })
+        }
+    }
+}
+
+fn assert_same_verdict(seq: &Verdict, par: &Verdict) -> Result<(), TestCaseError> {
+    match (seq, par) {
+        (Verdict::Holds, Verdict::Holds) => Ok(()),
+        (Verdict::Violated(a), Verdict::Violated(b)) => {
+            prop_assert_eq!(a.reason(), b.reason());
+            prop_assert_eq!(a.states(), b.states());
+            prop_assert_eq!(a.actions(), b.actions());
+            prop_assert_eq!(a.loop_start(), b.loop_start());
+            Ok(())
+        }
+        _ => {
+            prop_assert!(false, "verdicts diverge");
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel verdicts and lassos equal sequential ones on random
+    /// systems with random fairness sets, for every target shape and
+    /// 2/3 workers forced past the small-graph routing.
+    #[test]
+    fn parallel_equals_sequential(
+        specs in proptest::collection::vec(arb_action_spec(), 1..4),
+        fair in proptest::collection::vec(arb_fair_spec(3), 0..3),
+        tspec in arb_target(),
+    ) {
+        let sys = build_system(&specs, &fair);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = build_target(&sys, &tspec);
+        let seq = check_liveness(&sys, &graph, &target).unwrap();
+        for workers in [2usize, 3] {
+            let run = check_liveness_governed_with(
+                &sys,
+                &graph,
+                &target,
+                &Budget::default(),
+                &LivenessOptions::default().threads(workers).small_graph_cutoff(0),
+            )
+            .unwrap();
+            prop_assert!(run.outcome.is_complete());
+            let par = run.verdict.expect("complete runs carry a verdict");
+            assert_same_verdict(&seq, &par)?;
+        }
+    }
+
+    /// The SF-removal recursion terminates on arbitrary strong-fairness
+    /// sets: stacking SF requirements on every action still returns a
+    /// verdict (and the engines still agree on it).
+    #[test]
+    fn sf_recursion_terminates(
+        specs in proptest::collection::vec(arb_action_spec(), 1..4),
+        extra_weak in any::<bool>(),
+    ) {
+        // All-SF fairness maximizes the Streett decomposition depth.
+        let all_sf: Vec<FairSpec> = (0..specs.len())
+            .map(|action| FairSpec { action, strong: true })
+            .collect();
+        let mut sys = build_system(&specs, &all_sf);
+        if extra_weak {
+            let sub: Vec<VarId> = sys.actions()[0].touched().collect();
+            sys = sys.with_fairness(SystemFairness::weak(vec![0], sub));
+        }
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let frame = sys.frame();
+        let ga = &sys.actions()[specs.len() - 1];
+        let target = LiveTarget::fair(Fairness::strong(
+            ga.action_expr(&frame),
+            ga.touched().collect(),
+        ));
+        let seq = check_liveness(&sys, &graph, &target).unwrap();
+        let run = check_liveness_governed_with(
+            &sys,
+            &graph,
+            &target,
+            &Budget::default(),
+            &LivenessOptions::default().threads(2).small_graph_cutoff(0),
+        )
+        .unwrap();
+        prop_assert!(run.outcome.is_complete());
+        assert_same_verdict(&seq, &run.verdict.expect("complete"))?;
+    }
+
+    /// `frontier_size` under exhaustion is exact pending work:
+    /// deterministic across identical runs, bounded by the graph's
+    /// state count, and gone the moment the budget clears the true
+    /// charge total (completion is monotone in the budget).
+    #[test]
+    fn exhaustion_frontier_is_exact_and_monotone(
+        specs in proptest::collection::vec(arb_action_spec(), 1..4),
+        fair in proptest::collection::vec(arb_fair_spec(3), 0..2),
+        tspec in arb_target(),
+    ) {
+        let sys = build_system(&specs, &fair);
+        let graph = explore(&sys, &ExploreOptions::default()).unwrap();
+        let target = build_target(&sys, &tspec);
+        let mut completed = false;
+        for t in 1..512usize {
+            let run_at = |t: usize| {
+                check_liveness_governed_with(
+                    &sys,
+                    &graph,
+                    &target,
+                    &Budget::default().transitions(t),
+                    &LivenessOptions::default(),
+                )
+                .unwrap()
+            };
+            let run = run_at(t);
+            if run.outcome.is_complete() {
+                completed = true;
+                prop_assert!(run.verdict.is_some());
+                break;
+            }
+            // Once a budget suffices, every larger budget must too.
+            prop_assert!(!completed, "completion must be monotone in the budget");
+            let frontier = match &run.outcome {
+                Outcome::Exhausted {
+                    reason: ExhaustReason::TransitionLimit { .. },
+                    frontier_size,
+                    ..
+                } => *frontier_size,
+                other => panic!("unexpected outcome: {other:?}"),
+            };
+            prop_assert!(
+                frontier <= graph.len(),
+                "pending work cannot exceed the phase's item count"
+            );
+            // Exactness ⇒ determinism: the same budget reports the
+            // same pending count.
+            let again = match &run_at(t).outcome {
+                Outcome::Exhausted { frontier_size, .. } => *frontier_size,
+                other => panic!("unexpected outcome: {other:?}"),
+            };
+            prop_assert_eq!(again, frontier);
+        }
+        prop_assert!(completed, "512 transitions must complete a 4-state check");
+    }
+}

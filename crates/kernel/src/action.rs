@@ -36,6 +36,35 @@ pub fn enabled_vars(action: &Expr) -> VarSet {
     action.primed_vars()
 }
 
+/// The primed variables pinned to their current value by a top-level
+/// conjunct of the shape `v' = v` (the shape `UNCHANGED` produces).
+///
+/// Every `A` step `⟨s, t⟩` must satisfy such a conjunct, so `t` agrees
+/// with `s` on `v`; a witness search for `Enabled A` may therefore copy
+/// these variables from `s` instead of varying them — the restriction
+/// loses no witnesses. Actions built with frame conditions prime every
+/// declared variable, so without this the search degenerates into an
+/// enumeration of (nearly) the whole universe.
+pub fn determined_primes(action: &Expr) -> VarSet {
+    use crate::{BinOp, Expr as E};
+    let mut out = VarSet::new();
+    let conjuncts: &[Expr] = match action {
+        E::And(cs) => cs,
+        single => std::slice::from_ref(single),
+    };
+    for c in conjuncts {
+        if let E::Binary(BinOp::Eq, a, b) = c {
+            match (&**a, &**b) {
+                (E::Prime(v), E::Var(w)) | (E::Var(w), E::Prime(v)) if v == w => {
+                    out.insert(*v);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +105,29 @@ mod tests {
         // but A requires x = 0 before the step... build it from t.
         let back = t.with(&[(x, Value::Int(0))]);
         assert!(!boxed.holds_action(StatePair::new(&t, &back)).unwrap());
+    }
+
+    #[test]
+    fn determined_primes_finds_unchanged_conjuncts() {
+        let (_, x, y) = setup();
+        // x' = x ∧ y' = y + 1: x is determined, y is not.
+        let a = Expr::all([
+            Expr::prime(x).eq(Expr::var(x)),
+            Expr::prime(y).eq(Expr::var(y).add(Expr::int(1))),
+        ]);
+        let d = determined_primes(&a);
+        assert!(d.contains(x));
+        assert!(!d.contains(y));
+        // Both orientations of the equality count.
+        let flipped = Expr::var(y).eq(Expr::prime(y));
+        let d = determined_primes(&flipped);
+        assert!(d.contains(y));
+        // x' = y is a genuine constraint, not a frame condition.
+        let cross = Expr::prime(x).eq(Expr::var(y));
+        assert!(determined_primes(&cross).is_empty());
+        // A disjunction determines nothing.
+        let or = Expr::any([Expr::prime(x).eq(Expr::var(x)), Expr::bool(true)]);
+        assert!(determined_primes(&or).is_empty());
     }
 
     #[test]

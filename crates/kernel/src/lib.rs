@@ -52,16 +52,18 @@ mod expr;
 mod footprint;
 mod formula;
 mod packed;
+pub mod scc;
 mod state;
 mod subst;
 mod value;
 mod var;
 
-pub use action::{box_action, enabled_vars, unchanged};
+pub use action::{box_action, determined_primes, enabled_vars, unchanged};
 pub use error::{EvalError, KernelError};
 pub use expr::{expect_bool, BinOp, Expr, ExprDisplay, UnOp};
 pub use footprint::Footprint;
 pub use packed::PackedLayout;
+pub use scc::{tarjan_sccs_with, SccScratch};
 pub use formula::FormulaDisplay;
 pub use state::StateDisplay;
 pub use formula::{Fairness, FairnessKind, Formula};

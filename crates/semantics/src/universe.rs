@@ -67,15 +67,54 @@ impl Universe {
     /// Decides `Enabled A` in state `s`: whether some universe state
     /// `t` makes `⟨s, t⟩` an `A` step.
     ///
-    /// Only the variables primed in `A` are varied; all others are
-    /// copied from `s`, which is sound because `A` cannot observe them
-    /// in the next state.
+    /// The witness search varies only the variables primed in `A` —
+    /// sound because `A` cannot observe the others in the next state —
+    /// and within those, skips variables a top-level `v' = v` conjunct
+    /// pins to their current value (see
+    /// [`opentla_kernel::determined_primes`]). Actions with frame
+    /// conditions prime every variable, so the search would otherwise
+    /// enumerate (nearly) the whole universe per query. `Enabled` also
+    /// distributes over disjunction, which keeps the pruning effective
+    /// for joint actions `A₁ ∨ … ∨ Aₖ` whose frame conditions differ
+    /// per disjunct.
     ///
     /// # Errors
     ///
     /// Propagates expression evaluation errors.
     pub fn enabled(&self, action: &Expr, s: &State) -> Result<bool, SemanticsError> {
-        let vary: Vec<VarId> = action.primed_vars().iter().collect();
+        // Enabled (A ∨ B) ≡ Enabled A ∨ Enabled B.
+        if let Expr::Or(disjuncts) = action {
+            for d in disjuncts {
+                if self.enabled(d, s)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        // Enabled ((A ∨ B) ∧ R) ≡ Enabled (A ∧ R) ∨ Enabled (B ∧ R):
+        // pull a disjunctive conjunct out so each branch exposes its own
+        // frame conditions at the top level.
+        if let Expr::And(conjuncts) = action {
+            if let Some(pos) = conjuncts.iter().position(|c| matches!(c, Expr::Or(_))) {
+                let Expr::Or(disjuncts) = &conjuncts[pos] else {
+                    unreachable!("position matched an Or");
+                };
+                for d in disjuncts {
+                    let mut branch = conjuncts.clone();
+                    branch[pos] = d.clone();
+                    if self.enabled(&Expr::all(branch), s)? {
+                        return Ok(true);
+                    }
+                }
+                return Ok(false);
+            }
+        }
+        let determined = opentla_kernel::determined_primes(action);
+        let vary: Vec<VarId> = action
+            .primed_vars()
+            .iter()
+            .filter(|v| !determined.contains(*v))
+            .collect();
         for t in self.variants(s, &vary) {
             if action.holds_action(StatePair::new(s, &t))? {
                 return Ok(true);
@@ -222,6 +261,45 @@ mod tests {
         // y' = 5 but 5 is outside y's domain.
         let b = Expr::prime(y).eq(Expr::int(5));
         assert!(!u.enabled(&b, &s0).unwrap());
+    }
+
+    #[test]
+    fn enabledness_with_frame_conditions_and_disjunction() {
+        let (u, x, y) = setup();
+        let s0 = State::new(vec![Value::Int(0), Value::Int(0)]);
+        let s1 = State::new(vec![Value::Int(1), Value::Int(2)]);
+        // A = x = 0 ∧ x' = 1 ∧ UNCHANGED y: the y' = y conjunct is
+        // determined, so the witness search varies only x — and the
+        // verdict matches the unpruned semantics.
+        let a = Expr::all([
+            Expr::var(x).eq(Expr::int(0)),
+            Expr::prime(x).eq(Expr::int(1)),
+            Expr::prime(y).eq(Expr::var(y)),
+        ]);
+        assert!(u.enabled(&a, &s0).unwrap());
+        assert!(!u.enabled(&a, &s1).unwrap());
+        // B = y = 2 ∧ y' = 0 ∧ UNCHANGED x. The joint action A ∨ B is
+        // enabled wherever either disjunct is, each pruned by its own
+        // frame conditions.
+        let b = Expr::all([
+            Expr::var(y).eq(Expr::int(2)),
+            Expr::prime(y).eq(Expr::int(0)),
+            Expr::prime(x).eq(Expr::var(x)),
+        ]);
+        let joint = a.clone().or(b.clone());
+        assert!(u.enabled(&joint, &s0).unwrap());
+        assert!(u.enabled(&joint, &s1).unwrap());
+        let neither = State::new(vec![Value::Int(1), Value::Int(0)]);
+        assert!(!u.enabled(&joint, &neither).unwrap());
+        // ⟨A ∨ B⟩_{x,y} nests the disjunction under a conjunction — the
+        // distribution rule must still find each branch's witnesses.
+        let angle = Expr::all([
+            joint,
+            opentla_kernel::unchanged(&[x, y]).not(),
+        ]);
+        assert!(u.enabled(&angle, &s0).unwrap());
+        assert!(u.enabled(&angle, &s1).unwrap());
+        assert!(!u.enabled(&angle, &neither).unwrap());
     }
 
     #[test]

@@ -8,10 +8,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use opentla_check::{
-    explore_escalating, explore_governed_with, explore_resumable, resume_exploration,
-    Budget, CheckError, CheckpointError, CountingRecorder, Exploration, ExploreOptions,
-    GuardedAction, Init, Outcome, RecorderHandle, Reduction, Snapshot, StateGraph,
-    System, VisitedMode, WorkerPanic,
+    check_liveness, check_liveness_resumable, explore, explore_escalating,
+    explore_governed_with, explore_resumable, resume_exploration, Budget, CheckError,
+    CheckpointError, CountingRecorder, Exploration, ExploreOptions, GuardedAction, Init,
+    LiveSnapshot, LiveTarget, LivenessOptions, Outcome, RecorderHandle, Reduction,
+    Snapshot, StateGraph, System, VisitedMode, WorkerPanic,
 };
 use opentla_kernel::{Domain, Expr, Value, VarId, Vars};
 use opentla_queue::{FairnessStyle, QueueChain};
@@ -461,6 +462,193 @@ fn escalation_resumes_from_the_preserved_frontier() {
         direct_work,
         attempts
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Liveness interrupt/resume
+// ---------------------------------------------------------------------
+
+/// A strong-fairness obligation on the system's last action — the
+/// target shape that exercises every liveness phase (fairness tables,
+/// SCC pass, per-component scans, Streett recursion).
+fn live_target(system: &System) -> LiveTarget {
+    let frame = system.frame();
+    let last = system.actions().last().expect("system has actions");
+    LiveTarget::fair(opentla_kernel::Fairness::strong(
+        last.action_expr(&frame),
+        last.touched().collect(),
+    ))
+}
+
+fn assert_same_liveness_verdict(
+    label: &str,
+    a: &opentla_check::Verdict,
+    b: &opentla_check::Verdict,
+) {
+    match (a, b) {
+        (opentla_check::Verdict::Holds, opentla_check::Verdict::Holds) => {}
+        (opentla_check::Verdict::Violated(x), opentla_check::Verdict::Violated(y)) => {
+            assert_eq!(x.reason(), y.reason(), "{label}: reason differs");
+            assert_eq!(x.states(), y.states(), "{label}: lasso states differ");
+            assert_eq!(x.actions(), y.actions(), "{label}: lasso actions differ");
+            assert_eq!(x.loop_start(), y.loop_start(), "{label}: loop start differs");
+        }
+        _ => panic!("{label}: verdicts diverge"),
+    }
+}
+
+/// Interrupt a liveness check mid-run, resume from its on-disk
+/// [`LiveSnapshot`] with escalating budgets until it completes: the
+/// final verdict and lasso must be identical to the uninterrupted
+/// check's, resume events must fire, and the first interruption must
+/// report real pending work.
+#[test]
+fn liveness_interrupt_and_resume_reproduces_verdict() {
+    let system = QueueChain::new(3, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let graph = explore(&system, &ExploreOptions::default()).unwrap();
+    let target = live_target(&system);
+    let reference = check_liveness(&system, &graph, &target).unwrap();
+
+    let path = snap_path("liveness");
+    let recorder = Arc::new(CountingRecorder::new());
+    let mut budget_t = 500usize;
+    let mut legs = 0usize;
+    let final_run = loop {
+        let run = check_liveness_resumable(
+            &system,
+            &graph,
+            &target,
+            &Budget::default()
+                .transitions(budget_t)
+                .with_checkpoint(&path, 8)
+                .with_recorder(RecorderHandle::new(recorder.clone())),
+            &LivenessOptions::default(),
+        )
+        .expect("liveness legs succeed");
+        legs += 1;
+        if run.outcome.is_complete() {
+            break run;
+        }
+        let token = run
+            .outcome
+            .resume_token()
+            .expect("exhausted liveness run must leave a resume token");
+        assert_eq!(token.path, path, "token points at the spec path");
+        assert!(path.exists(), "liveness snapshot file must exist");
+        if legs == 1 {
+            if let Outcome::Exhausted { frontier_size, .. } = &run.outcome {
+                assert!(
+                    *frontier_size >= 1,
+                    "a freshly interrupted table scan has pending rows"
+                );
+            }
+        }
+        budget_t *= 2;
+        assert!(legs < 30, "budget doubling must terminate");
+    };
+    assert!(legs >= 2, "the first budget must actually interrupt the check");
+    assert!(
+        recorder.resumes() >= 1,
+        "resumed legs must emit resume events (saw {})",
+        recorder.resumes()
+    );
+    assert_same_liveness_verdict(
+        "chain3/liveness-resume",
+        &reference,
+        &final_run.verdict.expect("complete runs carry a verdict"),
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Corrupted or mismatched liveness snapshots are typed errors through
+/// both the loader and the resumable entry point — never panics, never
+/// silently-wrong verdicts.
+#[test]
+fn corrupted_or_mismatched_live_snapshot_is_refused() {
+    let system = QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let graph = explore(&system, &ExploreOptions::default()).unwrap();
+    let target = live_target(&system);
+    let path = snap_path("live-corrupt");
+    let run = check_liveness_resumable(
+        &system,
+        &graph,
+        &target,
+        &Budget::default().transitions(40).with_checkpoint(&path, 8),
+        &LivenessOptions::default(),
+    )
+    .unwrap();
+    assert!(run.outcome.resume_token().is_some(), "run must interrupt");
+    let original = std::fs::read(&path).unwrap();
+
+    // Flip a byte mid-body: checksum catches it, typed, through both
+    // entry points.
+    let mut flipped = original.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        LiveSnapshot::load(&path),
+        Err(CheckpointError::ChecksumMismatch)
+    ));
+    let err = check_liveness_resumable(
+        &system,
+        &graph,
+        &target,
+        &Budget::unlimited().with_checkpoint(&path, 8),
+        &LivenessOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::Checkpoint(CheckpointError::ChecksumMismatch)
+    ));
+
+    // A healthy snapshot resumed under a *different target* is refused:
+    // cleared-component sets are only valid for the restriction tables
+    // they were computed under.
+    std::fs::write(&path, &original).unwrap();
+    let other = LiveTarget::Eventually(Expr::int(1).eq(Expr::int(2)));
+    let err = check_liveness_resumable(
+        &system,
+        &graph,
+        &other,
+        &Budget::unlimited().with_checkpoint(&path, 8),
+        &LivenessOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::Checkpoint(CheckpointError::Mismatch { .. })
+    ));
+
+    // ...and under a different system/graph likewise.
+    let ring = TokenRing::new(3).complete_system().unwrap();
+    let ring_graph = explore(&ring, &ExploreOptions::default()).unwrap();
+    let err = check_liveness_resumable(
+        &ring,
+        &ring_graph,
+        &live_target(&ring),
+        &Budget::unlimited().with_checkpoint(&path, 8),
+        &LivenessOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        CheckError::Checkpoint(CheckpointError::Mismatch { .. })
+    ));
+
+    // Not a liveness snapshot at all.
+    std::fs::write(&path, b"definitely not a snapshot").unwrap();
+    assert!(matches!(
+        LiveSnapshot::load(&path),
+        Err(CheckpointError::BadMagic)
+    ));
+
     let _ = std::fs::remove_file(&path);
 }
 

@@ -51,6 +51,10 @@ fn recorded_stream(sys: &System) -> (String, StreamSummary) {
         let opts = ExploreOptions {
             mode,
             threads: Some(threads),
+            // The golden shape deliberately pins parallel
+            // instrumentation (worker_level events) on a tiny graph,
+            // so disable the small-graph sequential routing here.
+            small_graph_cutoff: Some(0),
             ..ExploreOptions::default()
         };
         let run = explore_governed_with(sys, &budget, &opts).expect("explores");

@@ -10,15 +10,18 @@
 //! 3. the resumed graph must be byte-identical to an uninterrupted
 //!    run's — states, initial states, edges, everything;
 //! 4. the same round trip with the 4-thread level-synchronous parallel
-//!    engine and with the 4-worker work-stealing engine (the snapshot
-//!    pins neither the thread count nor the engine — any engine can
-//!    resume any engine's snapshot);
+//!    engine, the 4-worker work-stealing engine, and the
+//!    bounded-memory spill engine under a 256 KiB budget — the spill
+//!    kill lands after at least one sealed arena segment, so its
+//!    resume genuinely re-reads segment files (the snapshot pins
+//!    neither the thread count nor the engine — any engine can resume
+//!    any engine's snapshot);
 //! 5. the same kill-and-resume on a *liveness lasso run*: a fair-cycle
 //!    check of `◇FALSE` on the chain4 graph is interrupted by a
 //!    transition budget (leaving `CKPT_chain4_live.snap`), resumed by
 //!    the 4-worker parallel liveness engine, and must reproduce the
 //!    uninterrupted sequential verdict and lasso byte-for-byte;
-//! 6. all six exploration runs plus the liveness events stream into
+//! 6. all eight exploration runs plus the liveness events stream into
 //!    `OBS_resume.jsonl` through a [`JsonlRecorder`], and the stream
 //!    must validate against the observability schema.
 //!
@@ -68,16 +71,31 @@ fn main() {
         run.graph
     };
 
-    for (label, threads, engine, snap_name) in [
-        ("sequential", 1usize, Engine::LevelSync, "CKPT_chain4.snap"),
-        ("parallel(4)", 4, Engine::LevelSync, "CKPT_chain4_par.snap"),
-        ("work-stealing(4)", 4, Engine::WorkStealing, "CKPT_chain4_ws.snap"),
+    for (label, threads, engine, mem, snap_name) in [
+        ("sequential", 1usize, Engine::LevelSync, None, "CKPT_chain4.snap"),
+        ("parallel(4)", 4, Engine::LevelSync, None, "CKPT_chain4_par.snap"),
+        (
+            "work-stealing(4)",
+            4,
+            Engine::WorkStealing,
+            None,
+            "CKPT_chain4_ws.snap",
+        ),
+        (
+            "spill(256KiB)",
+            1,
+            Engine::SpillBfs,
+            Some(256usize << 10),
+            "CKPT_chain4_spill.snap",
+        ),
     ] {
         let snap_path = format!("{root}/{snap_name}");
         let _ = std::fs::remove_file(&snap_path);
+        let _ = std::fs::remove_dir_all(format!("{snap_path}.segs"));
         let opts = ExploreOptions {
             threads: Some(threads),
             engine,
+            mem_budget_bytes: mem,
             ..ExploreOptions::default()
         };
 
@@ -103,6 +121,24 @@ fn main() {
             interrupted.graph.len(),
             token.seq
         );
+        if mem.is_some() {
+            // The spill "kill" must land after the first sealed
+            // segment, so the resume genuinely reads segment files.
+            let sealed = std::fs::read_dir(format!("{snap_path}.segs"))
+                .expect("spill leg leaves a segment dir next to its snapshot")
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let n = e.file_name();
+                    let n = n.to_string_lossy().into_owned();
+                    n.starts_with("arena-") && n.ends_with(".seg")
+                })
+                .count();
+            assert!(
+                sealed >= 1,
+                "{label}: interrupt must land after the first sealed segment"
+            );
+            println!("{label}: {sealed} sealed arena segment(s) at the kill point");
+        }
 
         // The recovery: same call, budget lifted.
         let resumed = explore_resumable(
@@ -209,16 +245,26 @@ fn main() {
     });
     assert_eq!(
         summary.runs.len(),
-        6,
-        "three interrupted + three resumed runs must be reported"
+        8,
+        "four interrupted + four resumed runs must be reported"
     );
     let complete: Vec<_> = summary.runs.iter().filter(|r| r.complete).collect();
-    assert_eq!(complete.len(), 3, "exactly the three resumed runs complete");
+    assert_eq!(complete.len(), 4, "exactly the four resumed runs complete");
     assert!(
         complete
             .iter()
             .all(|r| r.states == GOLDEN.0 as u64 && r.transitions == GOLDEN.1 as u64),
         "resumed run reports must carry the golden totals"
+    );
+    let spills = summary.kinds.get("spill").copied().unwrap_or(0);
+    assert!(
+        spills >= 1,
+        "the bounded-memory legs must report at least one spill event"
+    );
+    let cache_stats = summary.kinds.get("cache_stats").copied().unwrap_or(0);
+    assert_eq!(
+        cache_stats, 2,
+        "each spill run (interrupted + resumed) reports its cache statistics once"
     );
     let liveness_workers = summary.kinds.get("liveness_worker").copied().unwrap_or(0);
     assert_eq!(

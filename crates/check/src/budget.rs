@@ -305,6 +305,9 @@ pub struct Meter {
     observe: bool,
     /// Checkpoint counter driving sampled progress emission.
     ticks: AtomicU64,
+    /// Bytes the bounded-memory engine has spilled to disk (zero for
+    /// the in-RAM engines).
+    spilled: AtomicU64,
 }
 
 impl Meter {
@@ -318,6 +321,7 @@ impl Meter {
             transitions: AtomicUsize::new(0),
             observe: budget.recorder.enabled(),
             ticks: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
         }
     }
 
@@ -440,6 +444,16 @@ impl Meter {
     /// Transitions charged so far.
     pub fn transitions_used(&self) -> usize {
         self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Banks `bytes` written to disk by a spilling engine.
+    pub fn add_spilled_bytes(&self, bytes: u64) {
+        self.spilled.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes spilled to disk so far (zero for in-RAM engines).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
     }
 }
 

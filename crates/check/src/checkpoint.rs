@@ -52,7 +52,8 @@ use crate::obs::{Event, RecorderHandle};
 use crate::reduction::ReductionStats;
 use crate::{ExploreOptions, System, VisitedMode};
 use opentla_kernel::codec::{self, Reader};
-use opentla_kernel::State;
+use opentla_kernel::store::{self, SegmentMeta, StoreError};
+use opentla_kernel::{PackedLayout, State};
 use std::hash::Hasher;
 use std::path::{Path, PathBuf};
 
@@ -65,6 +66,15 @@ pub const DEFAULT_CHECKPOINT_CADENCE: u64 = 65_536;
 
 /// Snapshot wire-format version accepted by this build.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Wire-format version of *spill* snapshots — taken by the
+/// bounded-memory engine, which snapshots by **referencing** its
+/// sealed segment files (name + record count + checksum) and embedding
+/// only the unsealed in-RAM tail, so a periodic checkpoint costs
+/// O(hot tier), not O(state space). [`Snapshot::load`] reads both
+/// versions; a spill snapshot is expanded back to the in-RAM form by
+/// `materialize` before any engine resumes from it.
+pub const SNAPSHOT_VERSION_SPILL: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"OTLASNAP";
 
@@ -168,6 +178,33 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Segment-store failures surface through the same typed vocabulary:
+/// a corrupt or truncated segment file referenced by a spill snapshot
+/// is a checkpoint problem to its caller.
+impl From<StoreError> for CheckpointError {
+    fn from(e: StoreError) -> CheckpointError {
+        match e {
+            StoreError::Io { path, message } => CheckpointError::Io { path, message },
+            StoreError::BadMagic { .. } => CheckpointError::BadMagic,
+            StoreError::UnsupportedVersion { found } => {
+                CheckpointError::UnsupportedVersion { found }
+            }
+            StoreError::ChecksumMismatch { .. } => CheckpointError::ChecksumMismatch,
+            StoreError::Corrupt { detail } => CheckpointError::Corrupt { detail },
+            StoreError::MetaMismatch {
+                field,
+                expected,
+                found,
+            } => CheckpointError::Corrupt {
+                detail: format!(
+                    "segment {field} disagrees with the manifest \
+                     (recorded {expected}, found {found})"
+                ),
+            },
+        }
+    }
+}
+
 fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
     CheckpointError::Io {
         path: path.to_path_buf(),
@@ -233,18 +270,52 @@ pub struct Snapshot {
     pub(crate) parents: Vec<Option<(usize, usize)>>,
     pub(crate) frontier: Vec<usize>,
     pub(crate) reduction: Option<ReductionStats>,
+    /// `Some` for a bounded-memory (spill) snapshot: the arena and
+    /// edge lists live in sealed segment files referenced by name and
+    /// checksum, plus the embedded unsealed tails. `states`, `edges`,
+    /// and `parents` are empty until [`Snapshot::materialize`] expands
+    /// them from the segments.
+    pub(crate) spill: Option<SpillManifest>,
+}
+
+/// What a spill snapshot records instead of the in-RAM arena: where
+/// the sealed segment files live and how to verify them, plus the
+/// unsealed hot tails copied inline (cheap — O(one segment), by
+/// construction smaller than the seal threshold).
+#[derive(Clone, Debug)]
+pub(crate) struct SpillManifest {
+    /// Directory holding the run's segment files.
+    pub(crate) dir: PathBuf,
+    /// Total arena states (sealed + hot).
+    pub(crate) states: u64,
+    /// Total committed transitions across all edge records.
+    pub(crate) transitions: u64,
+    /// Sealed arena segments, in id order.
+    pub(crate) arena_segments: Vec<SegmentMeta>,
+    /// Unsealed arena records (ids follow the last sealed segment).
+    pub(crate) arena_hot: Vec<Vec<u8>>,
+    /// Sealed edge-record segments.
+    pub(crate) edge_segments: Vec<SegmentMeta>,
+    /// Unsealed edge records.
+    pub(crate) edge_hot: Vec<Vec<u8>>,
 }
 
 impl Snapshot {
     /// States banked in the snapshot (what the resumed meter is
     /// pre-charged with).
     pub fn states_used(&self) -> usize {
-        self.states.len()
+        match &self.spill {
+            Some(m) => m.states as usize,
+            None => self.states.len(),
+        }
     }
 
     /// Fully-committed transitions banked in the snapshot.
     pub fn transitions_used(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        match &self.spill {
+            Some(m) => m.transitions as usize,
+            None => self.edges.iter().map(Vec::len).sum(),
+        }
     }
 
     /// Number of discovered-but-unexpanded states awaiting resume.
@@ -308,8 +379,13 @@ impl Snapshot {
     /// Serializes the snapshot body (everything between magic and
     /// checksum).
     fn encode_body(&self) -> Vec<u8> {
+        let version = if self.spill.is_some() {
+            SNAPSHOT_VERSION_SPILL
+        } else {
+            SNAPSHOT_VERSION
+        };
         let mut out = Vec::new();
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.fp_bits.to_le_bytes());
         out.push(match self.mode {
             VisitedMode::Fingerprint => 0,
@@ -318,16 +394,57 @@ impl Snapshot {
         out.push(u8::from(self.reduced));
         out.extend_from_slice(&self.system_hash.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
-        for s in &self.states {
-            codec::encode_state(s, &mut out);
-        }
         let push_ids = |out: &mut Vec<u8>, ids: &[usize]| {
             out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
             for &i in ids {
                 out.extend_from_slice(&(i as u32).to_le_bytes());
             }
         };
+        let push_bytes = |out: &mut Vec<u8>, bytes: &[u8]| {
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        };
+        if let Some(m) = &self.spill {
+            push_bytes(&mut out, m.dir.to_string_lossy().as_bytes());
+            out.extend_from_slice(&m.states.to_le_bytes());
+            out.extend_from_slice(&m.transitions.to_le_bytes());
+            for segments in [&m.arena_segments, &m.edge_segments] {
+                out.extend_from_slice(&(segments.len() as u32).to_le_bytes());
+                for seg in segments.iter() {
+                    push_bytes(&mut out, seg.name.as_bytes());
+                    for word in [seg.first, seg.records, seg.payload_len, seg.payload_checksum] {
+                        out.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+            }
+            for hot in [&m.arena_hot, &m.edge_hot] {
+                out.extend_from_slice(&(hot.len() as u32).to_le_bytes());
+                for rec in hot.iter() {
+                    push_bytes(&mut out, rec);
+                }
+            }
+            push_ids(&mut out, &self.init);
+            push_ids(&mut out, &self.frontier);
+            match &self.reduction {
+                None => out.push(0),
+                Some(r) => {
+                    out.push(1);
+                    for n in [
+                        r.ample_states,
+                        r.full_states,
+                        r.skipped_transitions,
+                        r.canon_hits,
+                    ] {
+                        out.extend_from_slice(&(n as u64).to_le_bytes());
+                    }
+                }
+            }
+            return out;
+        }
+        out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
+        for s in &self.states {
+            codec::encode_state(s, &mut out);
+        }
         push_ids(&mut out, &self.init);
         for es in &self.edges {
             out.extend_from_slice(&(es.len() as u32).to_le_bytes());
@@ -370,12 +487,16 @@ impl Snapshot {
         let version = r
             .u32("version")
             .map_err(|e| corrupt(e.to_string()))?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_SPILL {
             return Err(CheckpointError::UnsupportedVersion { found: version });
         }
         // From here every decode error is structural corruption.
         let mut read = SnapshotReader { r };
-        read.finish()
+        if version == SNAPSHOT_VERSION_SPILL {
+            read.finish_spill()
+        } else {
+            read.finish()
+        }
     }
 
     /// Writes the snapshot to `path` atomically: the encoding goes to
@@ -418,6 +539,92 @@ impl Snapshot {
             return Err(CheckpointError::ChecksumMismatch);
         }
         Snapshot::decode_body(body)
+    }
+
+    /// Expands a spill snapshot into the in-RAM (version-1) form by
+    /// reading every referenced segment file back through the store's
+    /// verified reader, so the engines only ever resume from a fully
+    /// materialized arena. Already-materialized snapshots are returned
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when a referenced segment file is gone,
+    /// or any corruption-class error when one fails verification or
+    /// disagrees with the manifest.
+    pub(crate) fn materialize(self, system: &System) -> Result<Snapshot, CheckpointError> {
+        let Some(m) = &self.spill else {
+            return Ok(self);
+        };
+        let corrupt = |detail: String| CheckpointError::Corrupt { detail };
+        let layout = PackedLayout::compile(system.vars());
+        let n = m.states as usize;
+        let mut states = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        {
+            let mut take = |bytes: &[u8]| -> Result<(), CheckpointError> {
+                let rec = decode_arena_record(bytes, layout.as_ref())?;
+                states.push(rec.state);
+                parents.push(rec.parent);
+                Ok(())
+            };
+            for meta in &m.arena_segments {
+                for rec in store::read_segment(&m.dir.join(&meta.name), Some(meta))? {
+                    take(&rec)?;
+                }
+            }
+            for rec in &m.arena_hot {
+                take(rec)?;
+            }
+        }
+        if states.len() != n {
+            return Err(corrupt(format!(
+                "spill manifest claims {n} states, segments held {}",
+                states.len()
+            )));
+        }
+        let mut edges = vec![Vec::new(); n];
+        let mut expanded = vec![false; n];
+        let mut transitions = 0u64;
+        {
+            let mut take = |bytes: &[u8]| -> Result<(), CheckpointError> {
+                let (id, es) = decode_edge_record(bytes, n)?;
+                if std::mem::replace(&mut expanded[id], true) {
+                    return Err(corrupt(format!("duplicate edge record for state {id}")));
+                }
+                transitions += es.len() as u64;
+                edges[id] = es;
+                Ok(())
+            };
+            for meta in &m.edge_segments {
+                for rec in store::read_segment(&m.dir.join(&meta.name), Some(meta))? {
+                    take(&rec)?;
+                }
+            }
+            for rec in &m.edge_hot {
+                take(rec)?;
+            }
+        }
+        if transitions != m.transitions {
+            return Err(corrupt(format!(
+                "spill manifest claims {} transitions, edge records held {transitions}",
+                m.transitions
+            )));
+        }
+        Ok(Snapshot {
+            fp_bits: self.fp_bits,
+            mode: self.mode,
+            reduced: self.reduced,
+            system_hash: self.system_hash,
+            seq: self.seq,
+            states,
+            init: self.init.clone(),
+            edges,
+            parents,
+            frontier: self.frontier.clone(),
+            reduction: self.reduction,
+            spill: None,
+        })
     }
 }
 
@@ -467,7 +674,10 @@ impl SnapshotReader<'_> {
         (0..n).map(|_| self.id(ctx, bound)).collect()
     }
 
-    fn finish(&mut self) -> Result<Snapshot, CheckpointError> {
+    /// Reads the header fields shared by both snapshot versions:
+    /// `(fp_bits, mode, reduced, system_hash, seq)`.
+    #[allow(clippy::type_complexity)]
+    fn header(&mut self) -> Result<(u32, VisitedMode, bool, u64, u64), CheckpointError> {
         let fp_bits = self.u32("fp_bits")?;
         if fp_bits == 0 || fp_bits > 64 {
             return Self::corrupt(format!("fp_bits {fp_bits} outside 1..=64"));
@@ -484,6 +694,32 @@ impl SnapshotReader<'_> {
         };
         let system_hash = self.u64("system hash")?;
         let seq = self.u64("sequence number")?;
+        Ok((fp_bits, mode, reduced, system_hash, seq))
+    }
+
+    /// Reads the trailing reduction-stats block.
+    fn reduction(&mut self) -> Result<Option<ReductionStats>, CheckpointError> {
+        match self.u8("reduction tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(ReductionStats {
+                ample_states: self.u64("ample states")? as usize,
+                full_states: self.u64("full states")? as usize,
+                skipped_transitions: self.u64("skipped transitions")? as usize,
+                canon_hits: self.u64("canon hits")? as usize,
+            })),
+            t => Self::corrupt(format!("bad reduction tag {t}")),
+        }
+    }
+
+    fn bytes(&mut self, ctx: &'static str) -> Result<Vec<u8>, CheckpointError> {
+        self.r
+            .bytes(ctx)
+            .map(<[u8]>::to_vec)
+            .map_err(|e| CheckpointError::Corrupt { detail: e.to_string() })
+    }
+
+    fn finish(&mut self) -> Result<Snapshot, CheckpointError> {
+        let (fp_bits, mode, reduced, system_hash, seq) = self.header()?;
         let n = self.u32("state count")? as usize;
         let mut states = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
@@ -517,16 +753,7 @@ impl SnapshotReader<'_> {
             });
         }
         let frontier = self.ids("frontier id", n)?;
-        let reduction = match self.u8("reduction tag")? {
-            0 => None,
-            1 => Some(ReductionStats {
-                ample_states: self.u64("ample states")? as usize,
-                full_states: self.u64("full states")? as usize,
-                skipped_transitions: self.u64("skipped transitions")? as usize,
-                canon_hits: self.u64("canon hits")? as usize,
-            }),
-            t => return Self::corrupt(format!("bad reduction tag {t}")),
-        };
+        let reduction = self.reduction()?;
         if !self.r.is_empty() {
             return Self::corrupt(format!(
                 "{} trailing byte(s) after the snapshot body",
@@ -545,6 +772,92 @@ impl SnapshotReader<'_> {
             parents,
             frontier,
             reduction,
+            spill: None,
+        })
+    }
+
+    fn finish_spill(&mut self) -> Result<Snapshot, CheckpointError> {
+        let (fp_bits, mode, reduced, system_hash, seq) = self.header()?;
+        let dir = PathBuf::from(
+            String::from_utf8(self.bytes("spill directory")?)
+                .map_err(|_| CheckpointError::Corrupt {
+                    detail: "spill directory is not valid UTF-8".into(),
+                })?,
+        );
+        let states = self.u64("spill state count")?;
+        let transitions = self.u64("spill transition count")?;
+        let mut segments = || -> Result<Vec<SegmentMeta>, CheckpointError> {
+            let count = self.u32("segment count")? as usize;
+            let mut list = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let name = String::from_utf8(self.bytes("segment name")?).map_err(|_| {
+                    CheckpointError::Corrupt {
+                        detail: "segment name is not valid UTF-8".into(),
+                    }
+                })?;
+                if name.contains('/') || name.contains('\\') || name.contains("..") {
+                    return Self::corrupt(format!("segment name {name:?} escapes the spill dir"));
+                }
+                list.push(SegmentMeta {
+                    name,
+                    first: self.u64("segment first id")?,
+                    records: self.u64("segment record count")?,
+                    payload_len: self.u64("segment payload length")?,
+                    payload_checksum: self.u64("segment payload checksum")?,
+                });
+            }
+            Ok(list)
+        };
+        let arena_segments = segments()?;
+        let edge_segments = segments()?;
+        let mut hot = || -> Result<Vec<Vec<u8>>, CheckpointError> {
+            let count = self.u32("hot record count")? as usize;
+            (0..count).map(|_| self.bytes("hot record")).collect()
+        };
+        let arena_hot = hot()?;
+        let edge_hot = hot()?;
+        let n = usize::try_from(states)
+            .map_err(|_| CheckpointError::Corrupt {
+                detail: format!("spill state count {states} exceeds the address space"),
+            })?;
+        let sealed: u64 = arena_segments.iter().map(|s| s.records).sum();
+        if sealed + arena_hot.len() as u64 != states {
+            return Self::corrupt(format!(
+                "spill manifest claims {states} states but references {} ({sealed} sealed + {} hot)",
+                sealed + arena_hot.len() as u64,
+                arena_hot.len()
+            ));
+        }
+        let init = self.ids("initial state id", n)?;
+        let frontier = self.ids("frontier id", n)?;
+        let reduction = self.reduction()?;
+        if !self.r.is_empty() {
+            return Self::corrupt(format!(
+                "{} trailing byte(s) after the snapshot body",
+                self.r.remaining()
+            ));
+        }
+        Ok(Snapshot {
+            fp_bits,
+            mode,
+            reduced,
+            system_hash,
+            seq,
+            states: Vec::new(),
+            init,
+            edges: Vec::new(),
+            parents: Vec::new(),
+            frontier,
+            reduction,
+            spill: Some(SpillManifest {
+                dir,
+                states,
+                transitions,
+                arena_segments,
+                arena_hot,
+                edge_segments,
+                edge_hot,
+            }),
         })
     }
 }
@@ -598,7 +911,146 @@ pub(crate) fn capture(
         parents: parents[..keep].to_vec(),
         frontier,
         reduction,
+        spill: None,
     }
+}
+
+/// One arena record in the spill store: `[tag u8][parent u32, with
+/// `u32::MAX` for "initial"][action u32][fingerprint u64][state
+/// payload]`. Tag 0 carries the state in the general [`codec`]
+/// encoding; tag 1 carries the fixed-width packed form (only written
+/// when a [`PackedLayout`] compiled and the state packs). The
+/// fingerprint is stored rather than recomputed so spilled parents
+/// can be re-expanded without rehashing, and so the visited set can
+/// be rebuilt from the arena alone.
+pub(crate) struct ArenaRecord {
+    pub(crate) parent: Option<(usize, usize)>,
+    pub(crate) fp: u64,
+    pub(crate) state: State,
+}
+
+pub(crate) fn encode_arena_record(
+    state: &State,
+    fp: u64,
+    parent: Option<(usize, usize)>,
+    layout: Option<&PackedLayout>,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) {
+    let (parent_word, action_word) = match parent {
+        Some((p, a)) => (p as u32, a as u32),
+        None => (u32::MAX, 0),
+    };
+    let packed = layout.is_some_and(|l| l.pack_into(state.values(), scratch));
+    out.clear();
+    out.push(u8::from(packed));
+    out.extend_from_slice(&parent_word.to_le_bytes());
+    out.extend_from_slice(&action_word.to_le_bytes());
+    out.extend_from_slice(&fp.to_le_bytes());
+    if packed {
+        out.extend_from_slice(scratch);
+    } else {
+        codec::encode_state(state, out);
+    }
+}
+
+pub(crate) fn decode_arena_record(
+    bytes: &[u8],
+    layout: Option<&PackedLayout>,
+) -> Result<ArenaRecord, CheckpointError> {
+    let corrupt = |detail: String| CheckpointError::Corrupt { detail };
+    let mut r = Reader::new(bytes);
+    let tag = r.u8("arena record tag").map_err(|e| corrupt(e.to_string()))?;
+    let parent_word = r
+        .u32("arena record parent")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let action = r
+        .u32("arena record action")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let fp = r
+        .u64("arena record fingerprint")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let state = match tag {
+        0 => {
+            let state = codec::decode_state(&mut r).map_err(|e| corrupt(e.to_string()))?;
+            if !r.is_empty() {
+                return Err(corrupt(format!(
+                    "{} trailing byte(s) after an arena record",
+                    r.remaining()
+                )));
+            }
+            state
+        }
+        1 => {
+            let layout = layout.ok_or_else(|| {
+                corrupt("packed arena record but no layout compiles for this system".into())
+            })?;
+            let payload = &bytes[17..];
+            if payload.len() != layout.stride() {
+                return Err(corrupt(format!(
+                    "packed arena record payload is {} byte(s), layout stride is {}",
+                    payload.len(),
+                    layout.stride()
+                )));
+            }
+            layout.unpack(payload)
+        }
+        t => return Err(corrupt(format!("unknown arena record tag {t}"))),
+    };
+    let parent = if parent_word == u32::MAX {
+        None
+    } else {
+        Some((parent_word as usize, action as usize))
+    };
+    Ok(ArenaRecord { parent, fp, state })
+}
+
+/// One edge record in the spill store: `[id u32][k u32][(action u32,
+/// target u32) × k]`. A record is appended exactly once per state,
+/// when its expansion completes — frontier states have no record,
+/// which is the same invariant [`capture`] enforces by clearing
+/// frontier edge lists.
+pub(crate) fn encode_edge_record(id: usize, edges: &[Edge], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(id as u32).to_le_bytes());
+    out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for e in edges {
+        out.extend_from_slice(&(e.action as u32).to_le_bytes());
+        out.extend_from_slice(&(e.target as u32).to_le_bytes());
+    }
+}
+
+pub(crate) fn decode_edge_record(
+    bytes: &[u8],
+    bound: usize,
+) -> Result<(usize, Vec<Edge>), CheckpointError> {
+    let corrupt = |detail: String| CheckpointError::Corrupt { detail };
+    let mut r = Reader::new(bytes);
+    let id = r.u32("edge record id").map_err(|e| corrupt(e.to_string()))? as usize;
+    if id >= bound {
+        return Err(corrupt(format!("edge record id {id} out of range (< {bound})")));
+    }
+    let k = r
+        .u32("edge record count")
+        .map_err(|e| corrupt(e.to_string()))? as usize;
+    let mut edges = Vec::with_capacity(k.min(1 << 20));
+    for _ in 0..k {
+        let action = r.u32("edge action").map_err(|e| corrupt(e.to_string()))? as usize;
+        let target = r.u32("edge target").map_err(|e| corrupt(e.to_string()))? as usize;
+        if target >= bound {
+            return Err(corrupt(format!(
+                "edge target {target} out of range (< {bound})"
+            )));
+        }
+        edges.push(Edge { action, target });
+    }
+    if !r.is_empty() {
+        return Err(corrupt(format!(
+            "{} trailing byte(s) after an edge record",
+            r.remaining()
+        )));
+    }
+    Ok((id, edges))
 }
 
 /// The engines' checkpoint driver: counts expansions against the
@@ -981,6 +1433,7 @@ mod tests {
                 skipped_transitions: 3,
                 canon_hits: 4,
             }),
+            spill: None,
         }
     }
 

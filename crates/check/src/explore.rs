@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 // into a whole-run abort.
 use crate::sync::lock;
 
+mod spill;
 mod ws;
 
 /// How the explorer remembers which states it has already seen.
@@ -121,6 +122,16 @@ pub struct ExploreOptions {
     /// do). Checkpointed, resumed, and panic-injection runs never
     /// probe — their semantics are pinned to the parallel engine.
     pub small_graph_cutoff: Option<usize>,
+    /// Approximate RAM ceiling, in bytes, for the exploration's state
+    /// arena, edge lists, and visited set. Setting it (or exporting
+    /// `OPENTLA_MEM_BUDGET`) routes single-threaded unreduced runs to
+    /// the bounded-memory engine (see [`Engine::SpillBfs`]), which
+    /// spills sealed arena segments and sorted fingerprint runs to
+    /// disk and keeps only a budget-sized working set in RAM. `None`
+    /// (the default) keeps everything in RAM; explicit
+    /// [`Engine::SpillBfs`] with `None` uses a generous default
+    /// budget.
+    pub mem_budget_bytes: Option<usize>,
 }
 
 /// Selects the parallel exploration engine; see
@@ -139,6 +150,16 @@ pub enum Engine {
     /// representation when the system's domains do not compile to a
     /// [`opentla_kernel::PackedLayout`].
     WorkStealing,
+    /// The bounded-memory sequential engine: same BFS order and charge
+    /// discipline as the in-RAM sequential engine, but the state arena
+    /// and edge lists live in an append-only disk-backed segment store
+    /// (read back through an LRU cache) and the visited set spills
+    /// sorted fingerprint runs once its hot tier fills. Completed
+    /// graphs are byte-identical to the sequential engine's in both
+    /// [`VisitedMode`]s. Selecting it explicitly forces the spill path
+    /// even without a [`ExploreOptions::mem_budget_bytes`] budget;
+    /// reduced and panic-injection runs fall back to level-sync.
+    SpillBfs,
 }
 
 /// Instructs one parallel worker to panic mid-expansion — test
@@ -168,6 +189,7 @@ impl Default for ExploreOptions {
             worker_panic: None,
             engine: Engine::LevelSync,
             small_graph_cutoff: None,
+            mem_budget_bytes: None,
         }
     }
 }
@@ -186,6 +208,28 @@ impl ExploreOptions {
         self.engine == Engine::WorkStealing
             && !self.reduction.is_active()
             && self.worker_panic.is_none()
+    }
+
+    /// The memory budget in force: the explicit option wins, the
+    /// `OPENTLA_MEM_BUDGET` environment override fills in otherwise.
+    pub(crate) fn resolved_mem_budget(&self) -> Option<usize> {
+        self.mem_budget_bytes.or_else(env_mem_budget)
+    }
+
+    /// Whether this configuration routes to the bounded-memory spill
+    /// engine. Reduction and panic-injection runs never do (they stay
+    /// on level-sync, like [`ws_routed`](Self::ws_routed)); an explicit
+    /// [`Engine::SpillBfs`] always does; otherwise a memory budget
+    /// routes the default engine's single-threaded runs there.
+    fn spill_routed(&self, threads: usize) -> bool {
+        if self.reduction.is_active() || self.worker_panic.is_some() {
+            return false;
+        }
+        match self.engine {
+            Engine::SpillBfs => true,
+            Engine::LevelSync => threads == 1 && self.resolved_mem_budget().is_some(),
+            Engine::WorkStealing => false,
+        }
     }
 }
 
@@ -206,6 +250,18 @@ pub const PAR_SMALL_GRAPH_CUTOFF: usize = 256;
 /// integer.
 pub(crate) fn env_threads() -> Option<usize> {
     std::env::var("OPENTLA_EXPLORE_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n >= 1)
+}
+
+/// The `OPENTLA_MEM_BUDGET` override, if set to a positive byte
+/// count. Mirrors [`env_threads`]: an explicit
+/// [`ExploreOptions::mem_budget_bytes`] wins over the environment.
+pub(crate) fn env_mem_budget() -> Option<usize> {
+    std::env::var("OPENTLA_MEM_BUDGET")
         .ok()?
         .trim()
         .parse()
@@ -662,6 +718,13 @@ pub fn resume_exploration(
 ) -> Result<Exploration, CheckError> {
     snapshot.validate(system, options)?;
     let threads = options.threads.or_else(env_threads).unwrap_or(1).max(1);
+    if snapshot.spill.is_some() {
+        // A spill snapshot references on-disk segment files; expand it
+        // to the in-RAM form once, here, so every engine resumes from
+        // the same materialized arena.
+        let materialized = snapshot.clone().materialize(system)?;
+        return explore_observed(system, budget, options, threads, Some(&materialized));
+    }
     explore_observed(system, budget, options, threads, Some(snapshot))
 }
 
@@ -711,6 +774,9 @@ fn explore_dispatch(
     threads: usize,
     resume: Option<&Snapshot>,
 ) -> Result<Exploration, CheckError> {
+    if options.spill_routed(threads) {
+        return spill::explore_spill(system, budget, options, resume);
+    }
     if options.ws_routed() {
         return ws::explore_ws(system, budget, options, threads, resume);
     }
@@ -739,7 +805,9 @@ fn explore_observed(
     if !rec.enabled() {
         return explore_dispatch(system, budget, options, threads, resume);
     }
-    let engine = if options.ws_routed() {
+    let engine = if options.spill_routed(threads) {
+        "explore_spill"
+    } else if options.ws_routed() {
         "explore_parallel_ws"
     } else if threads > 1 {
         "explore_parallel"

@@ -81,6 +81,7 @@ pub use budget::{escalate, Budget, ExhaustReason, Governed, Meter, Outcome};
 pub use checkpoint::{
     CheckpointError, CheckpointSpec, LiveSnapshot, ResumeToken, Snapshot,
     DEFAULT_CHECKPOINT_CADENCE, LIVE_SNAPSHOT_VERSION, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_SPILL,
 };
 pub use obs::{
     CountingRecorder, Event, JsonlRecorder, NullRecorder, Phase, ProgressSnapshot,

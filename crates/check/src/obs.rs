@@ -330,6 +330,34 @@ pub enum Event<'a> {
         /// Fairness-satisfiable violation candidates it found.
         candidates: u64,
     },
+    /// The bounded-memory engine spilled a tier to disk (sealed an
+    /// arena/edge segment or wrote a visited-set fingerprint run).
+    Spill {
+        /// Which tier spilled: `"arena"`, `"edges"`, or `"visited"`.
+        tier: &'a str,
+        /// Sequence number of the spilled artifact within its tier.
+        seq: u64,
+        /// Records written in this spill.
+        records: u64,
+        /// Bytes written in this spill.
+        bytes: u64,
+        /// Cumulative bytes spilled across all tiers so far.
+        total_spilled_bytes: u64,
+    },
+    /// Segment-cache counters of a bounded-memory run (emitted once,
+    /// before the run's final progress event).
+    CacheStats {
+        /// Reads answered by a resident segment.
+        hits: u64,
+        /// Reads that loaded a segment from disk.
+        misses: u64,
+        /// Segments evicted to respect the cache byte budget.
+        evictions: u64,
+        /// Bytes resident in the cache at emission time.
+        resident_bytes: u64,
+        /// Total bytes spilled to disk over the run.
+        spilled_bytes: u64,
+    },
     /// The engine run ended; carries the full report.
     RunEnd {
         /// The final report.
@@ -354,6 +382,8 @@ impl Event<'_> {
             Event::WorkerFailure { .. } => "worker_failure",
             Event::Resume { .. } => "resume",
             Event::LivenessWorker { .. } => "liveness_worker",
+            Event::Spill { .. } => "spill",
+            Event::CacheStats { .. } => "cache_stats",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -419,6 +449,10 @@ pub struct CountingRecorder {
     worker_failures: AtomicU64,
     resumes: AtomicU64,
     liveness_workers: AtomicU64,
+    spills: AtomicU64,
+    cache_stats_events: AtomicU64,
+    /// Cumulative spilled bytes of the most recent spill event.
+    spilled_bytes: AtomicU64,
     /// Ample/full/skipped/canon totals of the most recent reduction
     /// event.
     red_ample_states: AtomicU64,
@@ -459,6 +493,9 @@ impl CountingRecorder {
             worker_failures: AtomicU64::new(0),
             resumes: AtomicU64::new(0),
             liveness_workers: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            cache_stats_events: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
             red_ample_states: AtomicU64::new(0),
             red_full_states: AtomicU64::new(0),
             red_skipped_transitions: AtomicU64::new(0),
@@ -538,6 +575,22 @@ impl CountingRecorder {
     /// Liveness-worker summaries recorded.
     pub fn liveness_worker_events(&self) -> u64 {
         self.liveness_workers.load(Ordering::Relaxed)
+    }
+
+    /// Spill events recorded.
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Cache-stats events recorded.
+    pub fn cache_stats_events(&self) -> u64 {
+        self.cache_stats_events.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative spilled bytes reported by the most recent spill
+    /// event (zero if none was recorded).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
     }
 
     /// `(ample_states, full_states, skipped_transitions, canon_hits)`
@@ -626,6 +679,17 @@ impl Recorder for CountingRecorder {
             }
             Event::LivenessWorker { .. } => {
                 self.liveness_workers.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Spill {
+                total_spilled_bytes,
+                ..
+            } => {
+                self.spills.fetch_add(1, Ordering::Relaxed);
+                self.spilled_bytes
+                    .store(*total_spilled_bytes, Ordering::Relaxed);
+            }
+            Event::CacheStats { .. } => {
+                self.cache_stats_events.fetch_add(1, Ordering::Relaxed);
             }
             Event::PhaseEnter { phase } => {
                 self.phase_entered[phase.index()]
@@ -851,6 +915,31 @@ impl Recorder for JsonlRecorder {
                 body.push_str(&format!(
                     ",\"worker\":{worker},\"components\":{components},\
                      \"candidates\":{candidates}"
+                ));
+            }
+            Event::Spill {
+                tier,
+                seq,
+                records,
+                bytes,
+                total_spilled_bytes,
+            } => {
+                body.push_str(&format!(
+                    ",\"tier\":{},\"seq\":{seq},\"records\":{records},\"bytes\":{bytes},\
+                     \"total_spilled_bytes\":{total_spilled_bytes}",
+                    json_str(tier)
+                ));
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                evictions,
+                resident_bytes,
+                spilled_bytes,
+            } => {
+                body.push_str(&format!(
+                    ",\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\
+                     \"resident_bytes\":{resident_bytes},\"spilled_bytes\":{spilled_bytes}"
                 ));
             }
             Event::RunEnd { report } => {
@@ -1495,6 +1584,23 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 req_u64(&obj, "worker", line)?;
                 req_u64(&obj, "components", line)?;
                 req_u64(&obj, "candidates", line)?;
+            }
+            "spill" => {
+                let tier = req_str(&obj, "tier", line)?;
+                if !matches!(tier, "arena" | "edges" | "visited") {
+                    return Err(format!("line {line}: unknown spill tier \"{tier}\""));
+                }
+                req_u64(&obj, "seq", line)?;
+                req_u64(&obj, "records", line)?;
+                req_u64(&obj, "bytes", line)?;
+                req_u64(&obj, "total_spilled_bytes", line)?;
+            }
+            "cache_stats" => {
+                req_u64(&obj, "hits", line)?;
+                req_u64(&obj, "misses", line)?;
+                req_u64(&obj, "evictions", line)?;
+                req_u64(&obj, "resident_bytes", line)?;
+                req_u64(&obj, "spilled_bytes", line)?;
             }
             other => return Err(format!("line {line}: unknown event kind \"{other}\"")),
         }

@@ -137,6 +137,18 @@ impl<'a> Reader<'a> {
         ]))
     }
 
+    /// Reads a `u32` length prefix followed by that many raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if the input ends early, or
+    /// [`DecodeError::BadLength`] if the prefix claims more bytes than
+    /// remain.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        let n = self.len(context)?;
+        self.take(n, context)
+    }
+
     /// Reads a length prefix and validates it against the remaining
     /// input, so corrupt data cannot demand absurd allocations.
     fn len(&mut self, context: &'static str) -> Result<usize, DecodeError> {

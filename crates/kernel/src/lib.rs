@@ -54,6 +54,7 @@ mod formula;
 mod packed;
 pub mod scc;
 mod state;
+pub mod store;
 mod subst;
 mod value;
 mod var;

@@ -719,3 +719,172 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+// ---------------------------------------------------------------------
+// Kill-mid-spill: the bounded-memory engine
+// ---------------------------------------------------------------------
+
+/// Count of sealed arena segment files in the directory the spill
+/// engine pins next to a checkpoint path.
+fn sealed_arena_segments(snap_path: &std::path::Path) -> usize {
+    let dir = PathBuf::from(format!("{}.segs", snap_path.display()));
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| {
+                    let n = e.file_name();
+                    let n = n.to_string_lossy().into_owned();
+                    n.starts_with("arena-") && n.ends_with(".seg")
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn remove_spill_artifacts(snap_path: &std::path::Path) {
+    let _ = std::fs::remove_file(snap_path);
+    let _ = std::fs::remove_dir_all(format!("{}.segs", snap_path.display()));
+}
+
+/// Kill-mid-spill: a bounded-memory run interrupted after its first
+/// sealed segment leaves a spill-format snapshot on disk that
+/// *references* the sealed files (version [`SNAPSHOT_VERSION_SPILL`]),
+/// and resuming from it — with the spill engine or, via the
+/// materializer, with the plain in-RAM engine — completes to a graph
+/// byte-identical to the unbounded run's.
+#[test]
+fn spill_interrupt_resume_identity() {
+    let system = QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    for mode in [VisitedMode::Fingerprint, VisitedMode::Exact] {
+        let label = format!("spill/{mode:?}");
+        let base = options(1, mode, Reduction::none(), 64);
+        let reference = run_unlimited(&system, &base);
+        let total = reference.graph.len();
+        let spill_opts = ExploreOptions {
+            mem_budget_bytes: Some(8 << 10),
+            ..base.clone()
+        };
+        let path = snap_path("spill");
+        remove_spill_artifacts(&path);
+
+        let interrupted = explore_resumable(
+            &system,
+            &Budget::default()
+                .states(total / 2)
+                .with_checkpoint(&path, 64),
+            &spill_opts,
+        )
+        .expect("interrupted spill run succeeds");
+        assert!(
+            interrupted.outcome.resume_token().is_some(),
+            "{label}: tight budget must exhaust with a resume token"
+        );
+        assert!(
+            sealed_arena_segments(&path) >= 1,
+            "{label}: the kill must land after the first sealed segment"
+        );
+        // The on-disk snapshot is the O(hot tier) spill form: magic,
+        // then the spill version number.
+        let head = std::fs::read(&path).expect("snapshot readable");
+        assert_eq!(&head[..8], b"OTLASNAP", "{label}: snapshot magic");
+        assert_eq!(
+            u32::from_le_bytes(head[8..12].try_into().unwrap()),
+            opentla_check::SNAPSHOT_VERSION_SPILL,
+            "{label}: exhaustion snapshot must be the spill format"
+        );
+
+        // Resume from disk with the spill engine.
+        let resumed = explore_resumable(
+            &system,
+            &Budget::unlimited().with_checkpoint(&path, 1 << 20),
+            &spill_opts,
+        )
+        .expect("resumed spill run succeeds");
+        assert!(
+            matches!(resumed.outcome, Outcome::Complete),
+            "{label}: resumed run must complete"
+        );
+        assert_identical(&label, &reference.graph, &resumed.graph);
+
+        // Cross-engine: the in-memory spill snapshot materializes and
+        // resumes on the plain in-RAM engine too.
+        let snap = interrupted.snapshot.as_deref().expect("in-memory snapshot");
+        let cross = resume_exploration(&system, &Budget::unlimited(), &base, snap)
+            .expect("cross-engine resume succeeds");
+        assert_identical(&format!("{label}/cross"), &reference.graph, &cross.graph);
+
+        remove_spill_artifacts(&path);
+    }
+}
+
+/// A corrupted or truncated sealed segment referenced by a spill
+/// snapshot refuses to resume with a typed checkpoint error — never a
+/// panic, never a silently wrong graph.
+#[test]
+fn corrupted_spill_segment_is_typed_error() {
+    let system = QueueChain::new(2, 1, 2, FairnessStyle::Joint)
+        .complete_system()
+        .unwrap();
+    let opts = ExploreOptions {
+        mem_budget_bytes: Some(8 << 10),
+        ..options(1, VisitedMode::Fingerprint, Reduction::none(), 64)
+    };
+    let total = run_unlimited(
+        &system,
+        &options(1, VisitedMode::Fingerprint, Reduction::none(), 64),
+    )
+    .graph
+    .len();
+    let path = snap_path("spill_corrupt");
+    remove_spill_artifacts(&path);
+    let interrupted = explore_resumable(
+        &system,
+        &Budget::default()
+            .states(total / 2)
+            .with_checkpoint(&path, 64),
+        &opts,
+    )
+    .expect("interrupted spill run succeeds");
+    assert!(interrupted.outcome.resume_token().is_some());
+    let segs_dir = PathBuf::from(format!("{}.segs", path.display()));
+    let seg = std::fs::read_dir(&segs_dir)
+        .expect("segment dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            let n = p.file_name().unwrap_or_default().to_string_lossy().into_owned();
+            n.starts_with("arena-") && n.ends_with(".seg")
+        })
+        .expect("at least one sealed arena segment");
+    let pristine = std::fs::read(&seg).expect("segment readable");
+
+    // Flip one payload byte: checksum verification trips.
+    let mut bytes = pristine.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&seg, &bytes).unwrap();
+    let err = explore_resumable(
+        &system,
+        &Budget::unlimited().with_checkpoint(&path, 1 << 20),
+        &opts,
+    )
+    .expect_err("corrupted segment must refuse to resume");
+    assert!(
+        matches!(err, CheckError::Checkpoint(_)),
+        "corruption surfaces as a typed checkpoint error, got {err}"
+    );
+
+    // Truncate the file: also a typed error.
+    std::fs::write(&seg, &pristine[..pristine.len() / 2]).unwrap();
+    let err = explore_resumable(
+        &system,
+        &Budget::unlimited().with_checkpoint(&path, 1 << 20),
+        &opts,
+    )
+    .expect_err("truncated segment must refuse to resume");
+    assert!(matches!(err, CheckError::Checkpoint(_)));
+
+    remove_spill_artifacts(&path);
+}

@@ -1,7 +1,10 @@
-//! Budget sweep behind the EXPERIMENTS.md "bounded-memory" table:
+//! Budget sweep behind the EXPERIMENTS.md "bounded-memory" tables:
 //! explores chain4 with the spill engine at a ladder of memory
 //! budgets, asserting byte-identity with the sequential engine at
-//! every rung and reporting time, spill events, and spilled bytes.
+//! every rung and reporting time, spill events, and spilled bytes —
+//! then sweeps the *parallel* bounded-memory engine
+//! ([`Engine::SpillWs`]) over budgets × worker counts, every cell
+//! asserted byte-identical too.
 //!
 //! Run with `cargo run --release -p opentla-bench --example spill_sweep`.
 
@@ -78,5 +81,34 @@ fn main() {
             spilled_bytes as f64 / (1 << 20) as f64,
         );
         let _ = std::fs::remove_file(&obs_path);
+    }
+
+    // Parallel bounded memory: budgets × worker counts. Every cell is
+    // the same graph — the table only shows where the time goes.
+    println!("\npar_spill (Engine::SpillWs), budgets x workers:");
+    for budget in [Some(256usize << 10), Some(4 << 20), None] {
+        for workers in [1usize, 2, 4] {
+            let opts = ExploreOptions {
+                engine: Engine::SpillWs,
+                threads: Some(workers),
+                mem_budget_bytes: budget,
+                ..ExploreOptions::default()
+            };
+            let t = Instant::now();
+            let run = explore_governed_with(&system, &Budget::unlimited(), &opts)
+                .expect("par-spill run explores");
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(run.graph.states(), base.graph.states());
+            assert_eq!(run.graph.init(), base.graph.init());
+            for id in 0..run.graph.len() {
+                assert_eq!(run.graph.edges(id), base.graph.edges(id));
+            }
+            println!(
+                "budget={:>12} workers={workers} time={:.3}s (x{:.2} vs seq_fp)",
+                budget.map_or("default".into(), |b| format!("{b}")),
+                secs,
+                secs / base_s,
+            );
+        }
     }
 }

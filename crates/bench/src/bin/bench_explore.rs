@@ -30,10 +30,16 @@
 //! A `seq_spill` column runs the bounded-memory spill engine
 //! ([`Engine::SpillBfs`]) at the default budget on every scenario,
 //! asserted byte-identical to `seq_fp`, and a **spill gate** pins its
-//! chain4 overhead vs `seq_fp` to ≤ 10%. Both gates record an
-//! `asserted` flag and a `skip_reason` string in the JSON so a reader
-//! can tell a passing gate from a skipped one without knowing the
-//! skip conditions.
+//! chain4 overhead vs `seq_fp` to ≤ 10%. A `par_spill` column runs
+//! the parallel bounded-memory engine ([`Engine::SpillWs`]) with the
+//! machine's available workers, also asserted byte-identical, and a
+//! **par-spill gate** measures chain4 at 4 workers: with ≥ 2 hardware
+//! threads, `par_spill` must clear 1.5× `seq_spill`; a companion run
+//! at a 256 KiB budget proves the engine actually seals segments by
+//! recording its `spilled_bytes`. All gates record an `asserted` flag
+//! and a `skip_reason` string in the JSON so a reader can tell a
+//! passing gate from a skipped one without knowing the skip
+//! conditions.
 //!
 //! Every run cross-checks that all three engines agree on the state
 //! and transition counts (the fingerprint/parallel engines are exact
@@ -66,9 +72,9 @@ use fxhash::FxHashMap;
 use opentla_bench::ms;
 use opentla_check::{
     check_invariant, explore_governed_with, explore_parallel, explore_resumable, obs,
-    Budget, CheckError, CompiledSystem, Engine, EvalScratch, ExploreOptions,
-    JsonlRecorder, Meter, RecorderHandle, Reduction, StateGraph, System, VisitedMode,
-    DEFAULT_CHECKPOINT_CADENCE,
+    Budget, CheckError, CompiledSystem, CountingRecorder, Engine, EvalScratch,
+    ExploreOptions, JsonlRecorder, Meter, RecorderHandle, Reduction, StateGraph, System,
+    VisitedMode, DEFAULT_CHECKPOINT_CADENCE,
 };
 use opentla_kernel::Expr;
 use opentla_kernel::State;
@@ -220,6 +226,21 @@ fn explore_spill_null(system: &System, options: &ExploreOptions) -> StateGraph {
         ..options.clone()
     };
     explore_null(system, &opts, 1)
+}
+
+/// The parallel bounded-memory engine ([`Engine::SpillWs`]) with an
+/// explicitly null recorder: work-stealing workers over the same
+/// disk-backed spill tiers the sequential spill engine uses.
+fn explore_par_spill_null(
+    system: &System,
+    options: &ExploreOptions,
+    threads: usize,
+) -> StateGraph {
+    let opts = ExploreOptions {
+        engine: Engine::SpillWs,
+        ..options.clone()
+    };
+    explore_null(system, &opts, threads)
 }
 
 /// Asserts that two graphs are byte-identical in the established
@@ -408,8 +429,8 @@ fn main() {
         "# bench_explore ({} mode, {iters} iteration(s), {threads} thread(s))\n",
         if smoke { "smoke" } else { "full" }
     );
-    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | par_ws | seq_spill | seq_red | seq_fp× | par_fp× | par_ws× | red× | null-ovh | ckpt-ovh |");
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("| scenario | states | transitions | seed | plain | seq_fp | par_fp | par_ws | seq_spill | par_spill | seq_red | seq_fp× | par_fp× | par_ws× | red× | null-ovh | ckpt-ovh |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
 
     let mut rows = Vec::new();
     let mut acceptance: Option<(String, f64)> = None;
@@ -464,6 +485,8 @@ fn main() {
         let (ws_t, ws_graph) = time_best(iters, || explore_ws_null(&sc.system, &options, threads));
         let (spill_t, spill_graph) =
             time_best(iters, || explore_spill_null(&sc.system, &options));
+        let (pspill_t, pspill_graph) =
+            time_best(iters, || explore_par_spill_null(&sc.system, &options, threads));
         let (red_t, red_run) = time_best(iters, || {
             explore_reduced(&sc.system, &options, &sc.reduction)
         });
@@ -530,6 +553,9 @@ fn main() {
         // The spill engine shares the sequential discovery order by
         // construction — byte-identity, not just counts.
         assert_graphs_identical(&seq_graph, &spill_graph, sc.name);
+        // The parallel spill engine's canonical renumbering must make
+        // it indistinguishable too, at whatever worker count ran.
+        assert_graphs_identical(&seq_graph, &pspill_graph, sc.name);
         assert_eq!(
             graph_counts(&ck_graph),
             (states, transitions),
@@ -567,6 +593,7 @@ fn main() {
         let (seed, plain, seq) = (run(seed_t, 1), run(plain_t, 1), run(seq_t, 1));
         let (par, ws) = (run(par_t, threads), run(ws_t, threads));
         let spill = run(spill_t, 1);
+        let pspill = run(pspill_t, threads);
         let red = EngineRun {
             seconds: red_t.as_secs_f64(),
             states_per_sec: states_reduced as f64 / red_t.as_secs_f64().max(1e-9),
@@ -584,7 +611,7 @@ fn main() {
         let ck = run(ck_t, 1);
         let resume_ovh = 1.0 - seq_resume_t.as_secs_f64() / ck_t.as_secs_f64().max(1e-9);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:.2}× | {:+.1}% | {:+.1}% |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {:.2}× | {:.2}× | {:+.1}% | {:+.1}% |",
             sc.name,
             states,
             transitions,
@@ -594,6 +621,7 @@ fn main() {
             ms(par_t),
             ms(ws_t),
             ms(spill_t),
+            ms(pspill_t),
             ms(red_t),
             seq_x,
             par_x,
@@ -614,7 +642,7 @@ fn main() {
             best_reduction = Some((sc.name, red_factor));
         }
         rows.push(format!(
-            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"par_ws\": {},\n      \"seq_ckpt\": {},\n      \"seq_spill\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"speedup_par_ws\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"resume_overhead\": {:.4},\n      \"acceptance\": {},\n      \"reduction\": {{\n        \"config\": \"{}\",\n        \"states_full\": {},\n        \"states_reduced\": {},\n        \"reduction_factor\": {:.2},\n        \"seq_red\": {},\n        \"ample_states\": {},\n        \"full_states\": {},\n        \"skipped_transitions\": {},\n        \"canon_hits\": {},\n        \"verdict_matches_full\": true\n      }}\n    }}",
+            "    {{\n      \"scenario\": \"{}\",\n      \"states\": {},\n      \"transitions\": {},\n      \"seed\": {},\n      \"plain\": {},\n      \"seq_fp\": {},\n      \"par_fp\": {},\n      \"par_ws\": {},\n      \"seq_ckpt\": {},\n      \"seq_spill\": {},\n      \"par_spill\": {},\n      \"speedup_seq_fp\": {:.2},\n      \"speedup_par_fp\": {:.2},\n      \"speedup_par_ws\": {:.2},\n      \"null_recorder_overhead\": {:.4},\n      \"resume_overhead\": {:.4},\n      \"acceptance\": {},\n      \"reduction\": {{\n        \"config\": \"{}\",\n        \"states_full\": {},\n        \"states_reduced\": {},\n        \"reduction_factor\": {:.2},\n        \"seq_red\": {},\n        \"ample_states\": {},\n        \"full_states\": {},\n        \"skipped_transitions\": {},\n        \"canon_hits\": {},\n        \"verdict_matches_full\": true\n      }}\n    }}",
             sc.name,
             states,
             transitions,
@@ -625,6 +653,7 @@ fn main() {
             engine_json(&ws),
             engine_json(&ck),
             engine_json(&spill),
+            engine_json(&pspill),
             seq_x,
             par_x,
             ws_x,
@@ -760,6 +789,56 @@ fn main() {
         1.0 - seq_best.as_secs_f64() / spill_best.as_secs_f64().max(1e-9)
     };
 
+    // --- par-spill gate: full chain4, 4 workers vs the sequential -----
+    // spill engine. Like the ws gate, the speedup assert only fires
+    // with real hardware parallelism; byte-identity is checked either
+    // way. A companion run at a deliberately tiny 256 KiB budget
+    // proves the parallel engine actually exercises the disk tiers —
+    // its recorded `spilled_bytes` must be non-zero — rather than
+    // winning the race by never sealing a segment.
+    let par_spill_name = "chain4";
+    let par_spill_workers = 4usize;
+    let (par_spill_speedup, par_spill_bytes) = {
+        let gate_sys = QueueChain::new(4, 1, 2, FairnessStyle::Joint)
+            .complete_system()
+            .expect("chain4 builds");
+        let mut seq_best = Duration::MAX;
+        let mut par_best = Duration::MAX;
+        for _ in 0..iters.max(5) {
+            let t = Instant::now();
+            let seq_g = explore_spill_null(&gate_sys, &options);
+            seq_best = seq_best.min(t.elapsed());
+            let t = Instant::now();
+            let par_g = explore_par_spill_null(&gate_sys, &options, par_spill_workers);
+            par_best = par_best.min(t.elapsed());
+            assert_graphs_identical(&seq_g, &par_g, "par-spill gate (chain4)");
+        }
+        // Budget-proof run: 256 KiB forces every tier to disk.
+        let recorder = Arc::new(CountingRecorder::new());
+        let budget = Budget::default()
+            .states(options.max_states)
+            .with_recorder(RecorderHandle::new(recorder.clone()));
+        let opts = ExploreOptions {
+            engine: Engine::SpillWs,
+            threads: Some(par_spill_workers),
+            mem_budget_bytes: Some(256 << 10),
+            ..options.clone()
+        };
+        let run = explore_governed_with(&gate_sys, &budget, &opts)
+            .expect("budgeted par-spill explores");
+        assert!(run.outcome.is_complete(), "budgeted par-spill run must complete");
+        let bytes = recorder.spilled_bytes();
+        assert!(
+            bytes > 0,
+            "par-spill gate: a 256 KiB budget on chain4 must seal segments \
+             (spilled_bytes == 0 means the disk tiers never engaged)"
+        );
+        (
+            seq_best.as_secs_f64() / par_best.as_secs_f64().max(1e-9),
+            bytes,
+        )
+    };
+
     // --- thread-scaling curve: both parallel engines, 1/2/4/8 workers --
     // One descriptive sample per point (the gates above are what is
     // asserted); every point re-checks the state count so a scaling
@@ -813,7 +892,7 @@ fn main() {
             .to_string()
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"level-synchronous parallel engine, fingerprint mode (delegates to sequential when 1 worker)\",\n    \"par_ws\": \"work-stealing engine: packed state layouts, per-worker deques, no level barriers\",\n    \"seq_ckpt\": \"seq_fp with checkpointing armed at DEFAULT_CHECKPOINT_CADENCE (crash-tolerance arming cost)\",\n    \"seq_spill\": \"bounded-memory spill engine at the default budget: disk-backed arena/edges, two-tier visited set\",\n    \"seq_red\": \"sequential engine under the scenario's Reduction (ample-set POR and/or symmetry), NullRecorder\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"resume\": {{\n    \"scenario\": \"{resume_name}\",\n    \"cadence\": {DEFAULT_CHECKPOINT_CADENCE},\n    \"resume_overhead\": {resume_ovh:.4}\n  }},\n  \"ws_gate\": {{\n    \"scenario\": \"{ws_name}\",\n    \"workers\": {ws_gate_workers},\n    \"hardware_threads\": {hardware},\n    \"speedup_vs_seq_fp\": {ws_vs_seq:.2},\n    \"speedup_vs_par_fp\": {ws_vs_par:.2},\n    \"asserted\": {ws_asserted},\n    \"skip_reason\": {ws_skip_reason}\n  }},\n  \"spill_gate\": {{\n    \"scenario\": \"{spill_name}\",\n    \"workers\": 1,\n    \"budget\": \"default (unconstrained)\",\n    \"overhead_vs_seq_fp\": {spill_ovh:.4},\n    \"limit\": 0.10,\n    \"asserted\": true,\n    \"skip_reason\": null\n  }},\n  \"scaling\": \"BENCH_scaling.json\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore\",\n  \"smoke\": {smoke},\n  \"iterations\": {iters},\n  \"threads\": {threads},\n  \"engines\": {{\n    \"seed\": \"seed sequential BFS: exact SipHash visited set, interpretive successors\",\n    \"plain\": \"PR2 copy: fingerprinted + compiled, no observability layer (overhead baseline)\",\n    \"seq_fp\": \"sequential, fingerprinted visited set + compiled successor stepper, NullRecorder\",\n    \"par_fp\": \"level-synchronous parallel engine, fingerprint mode (delegates to sequential when 1 worker)\",\n    \"par_ws\": \"work-stealing engine: packed state layouts, per-worker deques, no level barriers\",\n    \"seq_ckpt\": \"seq_fp with checkpointing armed at DEFAULT_CHECKPOINT_CADENCE (crash-tolerance arming cost)\",\n    \"seq_spill\": \"bounded-memory spill engine at the default budget: disk-backed arena/edges, two-tier visited set\",\n    \"par_spill\": \"parallel bounded-memory engine: work-stealing workers over sharded hot tiers draining to sorted fingerprint runs\",\n    \"seq_red\": \"sequential engine under the scenario's Reduction (ample-set POR and/or symmetry), NullRecorder\"\n  }},\n  \"obs\": {{\n    \"report\": \"OBS_explore.jsonl\",\n    \"scenario\": \"{gate_name}\",\n    \"null_recorder_overhead\": {null_ovh:.4}\n  }},\n  \"resume\": {{\n    \"scenario\": \"{resume_name}\",\n    \"cadence\": {DEFAULT_CHECKPOINT_CADENCE},\n    \"resume_overhead\": {resume_ovh:.4}\n  }},\n  \"ws_gate\": {{\n    \"scenario\": \"{ws_name}\",\n    \"workers\": {ws_gate_workers},\n    \"hardware_threads\": {hardware},\n    \"speedup_vs_seq_fp\": {ws_vs_seq:.2},\n    \"speedup_vs_par_fp\": {ws_vs_par:.2},\n    \"asserted\": {ws_asserted},\n    \"skip_reason\": {ws_skip_reason}\n  }},\n  \"spill_gate\": {{\n    \"scenario\": \"{spill_name}\",\n    \"workers\": 1,\n    \"budget\": \"default (unconstrained)\",\n    \"overhead_vs_seq_fp\": {spill_ovh:.4},\n    \"limit\": 0.10,\n    \"asserted\": true,\n    \"skip_reason\": null\n  }},\n  \"par_spill_gate\": {{\n    \"scenario\": \"{par_spill_name}\",\n    \"workers\": {par_spill_workers},\n    \"hardware_threads\": {hardware},\n    \"speedup_vs_seq_spill\": {par_spill_speedup:.2},\n    \"limit\": 1.5,\n    \"spilled_bytes_at_256KiB\": {par_spill_bytes},\n    \"asserted\": {ws_asserted},\n    \"skip_reason\": {ws_skip_reason}\n  }},\n  \"scaling\": \"BENCH_scaling.json\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
 
@@ -896,6 +975,23 @@ fn main() {
          {spill_name} at the default budget (limit 10%)",
         spill_ovh * 100.0
     );
+    println!(
+        "par_spill gate ({par_spill_name}, {par_spill_workers} workers): par_spill is \
+         {par_spill_speedup:.2}× seq_spill, {par_spill_bytes} bytes spilled at 256 KiB \
+         ({hardware} hardware thread(s))"
+    );
+    if hardware >= 2 {
+        assert!(
+            par_spill_speedup >= 1.5,
+            "par-spill regression: par_spill only {par_spill_speedup:.2}× seq_spill on \
+             {par_spill_name} at {par_spill_workers} workers (need ≥ 1.5×)"
+        );
+    } else {
+        println!(
+            "par_spill gate speedup assert skipped (single hardware thread — \
+             byte-identity and spilled-bytes were still checked)"
+        );
+    }
 }
 
 /// Explores `system` under a [`JsonlRecorder`] with three engines —

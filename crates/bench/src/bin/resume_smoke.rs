@@ -10,18 +10,20 @@
 //! 3. the resumed graph must be byte-identical to an uninterrupted
 //!    run's — states, initial states, edges, everything;
 //! 4. the same round trip with the 4-thread level-synchronous parallel
-//!    engine, the 4-worker work-stealing engine, and the
-//!    bounded-memory spill engine under a 256 KiB budget — the spill
-//!    kill lands after at least one sealed arena segment, so its
-//!    resume genuinely re-reads segment files (the snapshot pins
-//!    neither the thread count nor the engine — any engine can resume
-//!    any engine's snapshot);
+//!    engine, the 4-worker work-stealing engine, the bounded-memory
+//!    spill engine under a 256 KiB budget, and the *parallel*
+//!    bounded-memory engine (4 work-stealing workers over the spill
+//!    tiers, resumed at 2 workers) — each spill kill lands after at
+//!    least one sealed arena segment, so its resume genuinely
+//!    re-reads segment files (the snapshot pins neither the thread
+//!    count nor the engine — any engine can resume any engine's
+//!    snapshot, at any worker count);
 //! 5. the same kill-and-resume on a *liveness lasso run*: a fair-cycle
 //!    check of `◇FALSE` on the chain4 graph is interrupted by a
 //!    transition budget (leaving `CKPT_chain4_live.snap`), resumed by
 //!    the 4-worker parallel liveness engine, and must reproduce the
 //!    uninterrupted sequential verdict and lasso byte-for-byte;
-//! 6. all eight exploration runs plus the liveness events stream into
+//! 6. all ten exploration runs plus the liveness events stream into
 //!    `OBS_resume.jsonl` through a [`JsonlRecorder`], and the stream
 //!    must validate against the observability schema.
 //!
@@ -71,11 +73,12 @@ fn main() {
         run.graph
     };
 
-    for (label, threads, engine, mem, snap_name) in [
-        ("sequential", 1usize, Engine::LevelSync, None, "CKPT_chain4.snap"),
-        ("parallel(4)", 4, Engine::LevelSync, None, "CKPT_chain4_par.snap"),
+    for (label, threads, resume_threads, engine, mem, snap_name) in [
+        ("sequential", 1usize, 1usize, Engine::LevelSync, None, "CKPT_chain4.snap"),
+        ("parallel(4)", 4, 4, Engine::LevelSync, None, "CKPT_chain4_par.snap"),
         (
             "work-stealing(4)",
+            4,
             4,
             Engine::WorkStealing,
             None,
@@ -84,9 +87,22 @@ fn main() {
         (
             "spill(256KiB)",
             1,
+            1,
             Engine::SpillBfs,
             Some(256usize << 10),
             "CKPT_chain4_spill.snap",
+        ),
+        // The parallel bounded-memory engine is killed at 4 workers
+        // and resumed at 2 — the snapshot's canonical graph encodes
+        // no worker count, so the resume must land on the same golden
+        // totals regardless.
+        (
+            "par-spill(4→2, 256KiB)",
+            4,
+            2,
+            Engine::SpillWs,
+            Some(256usize << 10),
+            "CKPT_chain4_parspill.snap",
         ),
     ] {
         let snap_path = format!("{root}/{snap_name}");
@@ -140,13 +156,18 @@ fn main() {
             println!("{label}: {sealed} sealed arena segment(s) at the kill point");
         }
 
-        // The recovery: same call, budget lifted.
+        // The recovery: same call, budget lifted — and, on the
+        // par-spill leg, a different worker count than the kill ran.
+        let resume_opts = ExploreOptions {
+            threads: Some(resume_threads),
+            ..opts.clone()
+        };
         let resumed = explore_resumable(
             &system,
             &Budget::unlimited()
                 .with_checkpoint(&snap_path, 8_192)
                 .with_recorder(handle.clone()),
-            &opts,
+            &resume_opts,
         )
         .expect("resumed run explores");
         assert!(resumed.outcome.is_complete(), "{label}: resumed run must complete");
@@ -245,11 +266,11 @@ fn main() {
     });
     assert_eq!(
         summary.runs.len(),
-        8,
-        "four interrupted + four resumed runs must be reported"
+        10,
+        "five interrupted + five resumed runs must be reported"
     );
     let complete: Vec<_> = summary.runs.iter().filter(|r| r.complete).collect();
-    assert_eq!(complete.len(), 4, "exactly the four resumed runs complete");
+    assert_eq!(complete.len(), 5, "exactly the five resumed runs complete");
     assert!(
         complete
             .iter()
@@ -263,8 +284,9 @@ fn main() {
     );
     let cache_stats = summary.kinds.get("cache_stats").copied().unwrap_or(0);
     assert_eq!(
-        cache_stats, 2,
-        "each spill run (interrupted + resumed) reports its cache statistics once"
+        cache_stats, 4,
+        "each spill-engine run (interrupted + resumed, sequential and parallel) \
+         reports its cache statistics once"
     );
     let liveness_workers = summary.kinds.get("liveness_worker").copied().unwrap_or(0);
     assert_eq!(

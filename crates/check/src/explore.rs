@@ -38,9 +38,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 // in-flight *results* are discarded separately by the panic-isolation
 // path. Propagating the poison would instead turn one worker's bug
 // into a whole-run abort.
-use crate::sync::lock;
+use crate::sync::{lock, Striped, NUM_SHARDS};
 
 mod spill;
+mod spill_ws;
 mod ws;
 
 /// How the explorer remembers which states it has already seen.
@@ -124,13 +125,19 @@ pub struct ExploreOptions {
     pub small_graph_cutoff: Option<usize>,
     /// Approximate RAM ceiling, in bytes, for the exploration's state
     /// arena, edge lists, and visited set. Setting it (or exporting
-    /// `OPENTLA_MEM_BUDGET`) routes single-threaded unreduced runs to
-    /// the bounded-memory engine (see [`Engine::SpillBfs`]), which
-    /// spills sealed arena segments and sorted fingerprint runs to
-    /// disk and keeps only a budget-sized working set in RAM. `None`
-    /// (the default) keeps everything in RAM; explicit
-    /// [`Engine::SpillBfs`] with `None` uses a generous default
-    /// budget.
+    /// `OPENTLA_MEM_BUDGET`) routes unreduced runs to a bounded-memory
+    /// engine — single-threaded runs to [`Engine::SpillBfs`], parallel
+    /// runs to [`Engine::SpillWs`] — which spills sealed arena
+    /// segments and sorted fingerprint runs to disk and keeps only a
+    /// budget-sized working set in RAM. `None` (the default) keeps
+    /// everything in RAM; an explicit spill engine with `None` uses a
+    /// generous default budget. Configurations that *cannot* honor a
+    /// budget (reduction-active or panic-injection runs, which are
+    /// pinned to the in-RAM level-synchronous engine) refuse an
+    /// explicit budget with [`CheckError::Precondition`] and report an
+    /// environment-derived one as ignored via
+    /// [`Event::BudgetIgnored`](crate::Event) rather than silently
+    /// exploring unbounded.
     pub mem_budget_bytes: Option<usize>,
 }
 
@@ -160,6 +167,18 @@ pub enum Engine {
     /// even without a [`ExploreOptions::mem_budget_bytes`] budget;
     /// reduced and panic-injection runs fall back to level-sync.
     SpillBfs,
+    /// The parallel bounded-memory engine: the work-stealing scheduler
+    /// of [`Engine::WorkStealing`] running over the disk-backed tiers
+    /// of [`Engine::SpillBfs`]. The hot fingerprint tier is sharded
+    /// across the same 64 lock stripes as the in-RAM parallel visited
+    /// sets, each shard draining to shared sorted fingerprint runs at
+    /// a deterministic byte threshold; arena and edge records funnel
+    /// through shared sealed-segment writers. Completed graphs are
+    /// byte-identical to [`Engine::SpillBfs`] and to the sequential
+    /// engine in both [`VisitedMode`]s. Selecting it explicitly forces
+    /// the parallel spill path even without a budget; reduced and
+    /// panic-injection runs fall back to level-sync.
+    SpillWs,
 }
 
 /// Instructs one parallel worker to panic mid-expansion — test
@@ -228,7 +247,26 @@ impl ExploreOptions {
         match self.engine {
             Engine::SpillBfs => true,
             Engine::LevelSync => threads == 1 && self.resolved_mem_budget().is_some(),
-            Engine::WorkStealing => false,
+            Engine::WorkStealing | Engine::SpillWs => false,
+        }
+    }
+
+    /// Whether this configuration routes to the parallel bounded-memory
+    /// engine. Reduction and panic-injection runs never do; an explicit
+    /// [`Engine::SpillWs`] always does; otherwise a memory budget
+    /// routes the configurations the sequential spill engine does not
+    /// cover — multi-threaded default-engine runs and work-stealing
+    /// runs — so a budget is honored at *every* thread count instead of
+    /// silently disabling parallelism (or being ignored).
+    fn spill_ws_routed(&self, threads: usize) -> bool {
+        if self.reduction.is_active() || self.worker_panic.is_some() {
+            return false;
+        }
+        match self.engine {
+            Engine::SpillWs => true,
+            Engine::LevelSync => threads > 1 && self.resolved_mem_budget().is_some(),
+            Engine::WorkStealing => self.resolved_mem_budget().is_some(),
+            Engine::SpillBfs => false,
         }
     }
 }
@@ -777,6 +815,33 @@ fn explore_dispatch(
     if options.spill_routed(threads) {
         return spill::explore_spill(system, budget, options, resume);
     }
+    if options.spill_ws_routed(threads) {
+        return spill_ws::explore_spill_ws(system, budget, options, threads, resume);
+    }
+    if let Some(bytes) = options.resolved_mem_budget() {
+        // Neither spill engine took the run, so the budget cannot be
+        // honored (reduction-active or panic-injection configs, which
+        // are pinned to the in-RAM level-sync engine). Never ignore it
+        // silently: report it, and refuse outright when the caller
+        // asked explicitly rather than via the environment.
+        let reason = if options.reduction.is_active() {
+            "reduction-active runs are pinned to the in-RAM level-synchronous engine"
+        } else {
+            "panic-injection runs are pinned to the in-RAM level-synchronous engine"
+        };
+        budget.recorder.record(&Event::BudgetIgnored {
+            budget_bytes: bytes as u64,
+            reason,
+        });
+        if options.mem_budget_bytes.is_some() {
+            return Err(CheckError::Precondition {
+                message: format!(
+                    "mem_budget_bytes = {bytes} cannot be honored: {reason}; drop the \
+                     budget or disable the conflicting option"
+                ),
+            });
+        }
+    }
     if options.ws_routed() {
         return ws::explore_ws(system, budget, options, threads, resume);
     }
@@ -807,6 +872,8 @@ fn explore_observed(
     }
     let engine = if options.spill_routed(threads) {
         "explore_spill"
+    } else if options.spill_ws_routed(threads) {
+        "explore_spill_ws"
     } else if options.ws_routed() {
         "explore_parallel_ws"
     } else if threads > 1 {
@@ -1687,11 +1754,6 @@ fn explore_sequential_reduced(
 // Parallel engine
 // ---------------------------------------------------------------------
 
-/// Shard count of the parallel visited set (a power of two; the shard
-/// is picked from the low fingerprint bits). The liveness engine's
-/// parallel reachability pass stripes its visited flags the same way.
-pub(crate) const NUM_SHARDS: usize = 64;
-
 /// Provisional state id used during parallel exploration:
 /// `shard << 32 | index within the shard's arena`. Renumbering maps
 /// these to canonical sequential indices afterwards.
@@ -1767,7 +1829,7 @@ struct WorkerOut {
 
 /// Shared coordination state of one parallel run.
 struct ParShared<'a> {
-    shards: Vec<Mutex<Shard>>,
+    shards: Striped<Shard>,
     mask: u64,
     meter: &'a Meter,
     stop: AtomicBool,
@@ -1795,7 +1857,7 @@ impl ParShared<'_> {
 
     /// The state behind a pid, with its unmasked fingerprint.
     fn state_of(&self, p: Pid) -> (State, u64) {
-        let shard = lock(&self.shards[shard_of(p)]);
+        let shard = self.shards.lock_shard(shard_of(p));
         let local = local_of(p);
         (shard.arena[local].clone(), shard.fps[local])
     }
@@ -1813,8 +1875,7 @@ impl ParShared<'_> {
         make: impl FnOnce() -> State,
     ) -> Result<(Pid, bool), ExhaustReason> {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let Shard { keys, arena, fps } = &mut *shard;
         match keys {
             ShardKeys::Fingerprint(map) => match map.entry(key) {
@@ -1864,8 +1925,7 @@ impl ParShared<'_> {
     fn seed(&self, s: &State) -> Pid {
         let fp = s.fingerprint();
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let Shard { keys, arena, fps } = &mut *shard;
         match keys {
             ShardKeys::Fingerprint(map) => match map.entry(key) {
@@ -1901,8 +1961,7 @@ impl ParShared<'_> {
     /// the proviso on the identical set of states.
     fn in_completed_level(&self, s: &State, bounds: &[usize]) -> bool {
         let key = s.fingerprint() & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let shard = lock(&self.shards[shard_i]);
+        let (shard_i, shard) = self.shards.lock_key(key);
         let local = match &shard.keys {
             ShardKeys::Fingerprint(map) => map.get(&key).copied(),
             ShardKeys::Exact(map) => map.get(s).copied(),
@@ -2126,7 +2185,7 @@ fn explore_parallel_impl(
         None => Meter::start(budget),
     };
     let shared = ParShared {
-        shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new(options.mode))).collect(),
+        shards: Striped::new(|| Shard::new(options.mode)),
         mask: options.mask(),
         meter: &meter,
         stop: AtomicBool::new(false),
@@ -2216,11 +2275,7 @@ fn explore_parallel_impl(
         // freezes that answer for the whole level.
         let bounds: Option<Vec<usize>> =
             prepared.filter(|r| r.por.is_some()).map(|_| {
-                shared
-                    .shards
-                    .iter()
-                    .map(|m| lock(m).arena.len())
-                    .collect()
+                shared.shards.iter_locked().map(|s| s.arena.len()).collect()
             });
         // Each worker owns its output and reports whether it panicked;
         // a panic destroys neither the output accumulated so far nor
@@ -2349,7 +2404,7 @@ fn explore_parallel_impl(
             // frontier is the canonical arena's tail there, which is
             // exactly the cut the resume paths expect.
             let arena_lens: Vec<usize> =
-                shared.shards.iter().map(|m| lock(m).arena.len()).collect();
+                shared.shards.iter_locked().map(|s| s.arena.len()).collect();
             let replay =
                 replay_records(&arena_lens, |p| shared.state_of(p).0, &all_edges, &init_pids);
             let frontier_ids: Vec<usize> = frontier
@@ -2386,10 +2441,7 @@ fn explore_parallel_impl(
     // Workers are done: take the shards (and the exhaustion record)
     // out of their locks.
     let ParShared { shards, reason, .. } = shared;
-    let shards: Vec<Shard> = shards
-        .into_iter()
-        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
-        .collect();
+    let shards: Vec<Shard> = shards.into_shards();
     let reason = reason.into_inner().unwrap_or_else(PoisonError::into_inner);
 
     let renumber_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreRenumber);

@@ -50,22 +50,24 @@ use std::path::{Path, PathBuf};
 /// in-RAM speed while keeping the spill machinery live.
 pub(super) const DEFAULT_SPILL_BUDGET: usize = 256 << 20;
 
-/// How one memory budget splits across the engine's tiers.
-struct Tuning {
+/// How one memory budget splits across the engine's tiers (shared
+/// with the parallel spill engine, which divides the visited-tier
+/// shares across its shards).
+pub(super) struct Tuning {
     /// Seal threshold for both segment stores.
-    seg_target: usize,
+    pub(super) seg_target: usize,
     /// LRU cache budget for the arena store.
-    arena_cache: usize,
+    pub(super) arena_cache: usize,
     /// LRU cache budget for the edge store.
-    edge_cache: usize,
+    pub(super) edge_cache: usize,
     /// Hot visited-tier capacity, in entries.
-    hot_cap: usize,
+    pub(super) hot_cap: usize,
     /// In-RAM filter size in front of the spilled runs.
-    filter_bytes: usize,
+    pub(super) filter_bytes: usize,
 }
 
 impl Tuning {
-    fn for_budget(m: usize) -> Tuning {
+    pub(super) fn for_budget(m: usize) -> Tuning {
         let seg_target = (m / 8).clamp(1024, 8 << 20);
         Tuning {
             seg_target,
@@ -81,13 +83,13 @@ impl Tuning {
 /// a clear bit proves the key was never spilled, so the common miss
 /// costs no disk probe. Power-of-two sized, indexed by the top bits of
 /// a Fibonacci-multiplied key.
-struct Filter {
+pub(super) struct Filter {
     words: Vec<u64>,
     shift: u32,
 }
 
 impl Filter {
-    fn new(bytes: usize) -> Filter {
+    pub(super) fn new(bytes: usize) -> Filter {
         let bits = (bytes.max(1024) * 8).next_power_of_two();
         Filter {
             words: vec![0; bits / 64],
@@ -99,12 +101,12 @@ impl Filter {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
     }
 
-    fn set(&mut self, key: u64) {
+    pub(super) fn set(&mut self, key: u64) {
         let bit = self.bit(key);
         self.words[bit / 64] |= 1 << (bit % 64);
     }
 
-    fn maybe(&self, key: u64) -> bool {
+    pub(super) fn maybe(&self, key: u64) -> bool {
         let bit = self.bit(key);
         self.words[bit / 64] & (1 << (bit % 64)) != 0
     }
@@ -112,14 +114,14 @@ impl Filter {
 
 /// One sealed spill emission, for meter accounting and the `spill`
 /// observability event.
-struct SpillInfo {
-    tier: &'static str,
-    seq: u64,
-    records: u64,
-    bytes: u64,
+pub(super) struct SpillInfo {
+    pub(super) tier: &'static str,
+    pub(super) seq: u64,
+    pub(super) records: u64,
+    pub(super) bytes: u64,
 }
 
-fn note_spill(meter: &Meter, rec: &RecorderHandle, info: &SpillInfo) {
+pub(super) fn note_spill(meter: &Meter, rec: &RecorderHandle, info: &SpillInfo) {
     meter.add_spilled_bytes(info.bytes);
     if rec.enabled() {
         rec.record(&Event::Spill {
@@ -132,7 +134,7 @@ fn note_spill(meter: &Meter, rec: &RecorderHandle, info: &SpillInfo) {
     }
 }
 
-fn seal_info(tier: &'static str, store: &SegmentStore, meta: &SegmentMeta) -> SpillInfo {
+pub(super) fn seal_info(tier: &'static str, store: &SegmentStore, meta: &SegmentMeta) -> SpillInfo {
     SpillInfo {
         tier,
         seq: store.sealed().len() as u64 - 1,
@@ -165,28 +167,34 @@ struct SpillVisited {
     probe: Vec<u64>,
 }
 
-impl SpillVisited {
-    fn create(dir: &Path, t: &Tuning) -> Result<SpillVisited, StoreError> {
-        // Remove stale runs from an earlier process in this directory,
-        // mirroring SegmentStore::create's stale-segment cleanup.
-        for entry in std::fs::read_dir(dir).map_err(|e| StoreError::Io {
+/// Removes stale `visited-*.run` files an earlier process left in
+/// `dir`, mirroring `SegmentStore::create`'s stale-segment cleanup.
+/// Shared by both spill engines' visited-set constructors.
+pub(super) fn clean_visited_runs(dir: &Path) -> Result<(), StoreError> {
+    for entry in std::fs::read_dir(dir).map_err(|e| StoreError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })? {
+        let entry = entry.map_err(|e| StoreError::Io {
             path: dir.to_path_buf(),
             message: e.to_string(),
-        })? {
-            let entry = entry.map_err(|e| StoreError::Io {
-                path: dir.to_path_buf(),
+        })?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("visited-") && name.ends_with(".run") {
+            let path = entry.path();
+            std::fs::remove_file(&path).map_err(|e| StoreError::Io {
+                path,
                 message: e.to_string(),
             })?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if name.starts_with("visited-") && name.ends_with(".run") {
-                let path = entry.path();
-                std::fs::remove_file(&path).map_err(|e| StoreError::Io {
-                    path,
-                    message: e.to_string(),
-                })?;
-            }
         }
+    }
+    Ok(())
+}
+
+impl SpillVisited {
+    fn create(dir: &Path, t: &Tuning) -> Result<SpillVisited, StoreError> {
+        clean_visited_runs(dir)?;
         Ok(SpillVisited {
             hot: FxHashMap::default(),
             dups: FxHashMap::default(),
@@ -598,7 +606,7 @@ impl EdgeSink {
 }
 
 /// Reassembles the per-state edge lists from the edge store's records.
-fn collect_edges(store: &SegmentStore, n: usize) -> Result<Vec<Vec<Edge>>, CheckpointError> {
+pub(super) fn collect_edges(store: &SegmentStore, n: usize) -> Result<Vec<Vec<Edge>>, CheckpointError> {
     let mut edges = vec![Vec::new(); n];
     let mut take = |rec: &[u8]| -> Result<(), CheckpointError> {
         let (id, es) = checkpoint::decode_edge_record(rec, n)?;
@@ -663,7 +671,7 @@ fn spill_snapshot(
 /// Where the segment files live: next to the checkpoint when one is
 /// configured (so a resumed process finds them), otherwise a
 /// process-private temp directory removed when the run returns.
-fn spill_dir(budget: &Budget) -> (PathBuf, bool) {
+pub(super) fn spill_dir(budget: &Budget) -> (PathBuf, bool) {
     use std::sync::atomic::{AtomicU64, Ordering};
     if let Some(spec) = &budget.checkpoint {
         return (PathBuf::from(format!("{}.segs", spec.path.display())), false);

@@ -101,7 +101,7 @@ impl WsShard {
 
 /// Shared coordination state of one work-stealing run.
 struct WsShared<'a> {
-    shards: Vec<Mutex<WsShard>>,
+    shards: Striped<WsShard>,
     /// One deque per worker; owners pop the front, thieves the back.
     deques: Vec<Mutex<VecDeque<Pid>>>,
     /// Queued-or-expanding state count; zero proves quiescence.
@@ -139,8 +139,7 @@ impl WsShared<'_> {
         append: impl FnOnce(&mut Vec<u8>),
     ) -> Result<(Pid, bool), ExhaustReason> {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let WsShard {
             keys, packed, fps, ..
         } = &mut *shard;
@@ -168,8 +167,7 @@ impl WsShared<'_> {
     /// for the shared discipline).
     fn intern_packed(&self, fp: u64, child: &[u8]) -> Result<(Pid, bool), ExhaustReason> {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let WsShard {
             keys, packed, fps, ..
         } = &mut *shard;
@@ -198,8 +196,7 @@ impl WsShared<'_> {
         make: impl FnOnce() -> State,
     ) -> Result<(Pid, bool), ExhaustReason> {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let WsShard {
             keys, states, fps, ..
         } = &mut *shard;
@@ -240,8 +237,7 @@ impl WsShared<'_> {
     /// wins on masked-fingerprint collisions, as in [`ParShared::seed`].
     fn seed_packed(&self, fp: u64, bytes: &[u8]) -> Pid {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let WsShard {
             keys, packed, fps, ..
         } = &mut *shard;
@@ -273,8 +269,7 @@ impl WsShared<'_> {
     /// Resume seeding for tree arenas.
     fn seed_tree(&self, s: &State, fp: u64) -> Pid {
         let key = fp & self.mask;
-        let shard_i = (key as usize) & (NUM_SHARDS - 1);
-        let mut shard = lock(&self.shards[shard_i]);
+        let (shard_i, mut shard) = self.shards.lock_key(key);
         let WsShard {
             keys, states, fps, ..
         } = &mut *shard;
@@ -376,7 +371,7 @@ fn run_ws_worker_packed(
         };
         out.claimed += 1;
         let parent_fp = {
-            let shard = lock(&shared.shards[shard_of(parent)]);
+            let shard = shared.shards.lock_shard(shard_of(parent));
             let local = local_of(parent);
             parent_buf.clear();
             parent_buf.extend_from_slice(&shard.packed[local * stride..(local + 1) * stride]);
@@ -482,7 +477,7 @@ fn run_ws_worker_tree(
         };
         out.claimed += 1;
         let (s, s_fp) = {
-            let shard = lock(&shared.shards[shard_of(parent)]);
+            let shard = shared.shards.lock_shard(shard_of(parent));
             let local = local_of(parent);
             (shard.states[local].clone(), shard.fps[local])
         };
@@ -569,9 +564,7 @@ pub(super) fn explore_ws(
     let stride = layout.map_or(0, |l| l.stride());
 
     let shared = WsShared {
-        shards: (0..NUM_SHARDS)
-            .map(|_| Mutex::new(WsShard::new(options.mode, layout.is_some())))
-            .collect(),
+        shards: Striped::new(|| WsShard::new(options.mode, layout.is_some())),
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         in_flight: AtomicUsize::new(0),
         stride,
@@ -729,10 +722,7 @@ pub(super) fn explore_ws(
         return Err(e);
     }
     let WsShared { shards, reason, .. } = shared;
-    let shards: Vec<WsShard> = shards
-        .into_iter()
-        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
-        .collect();
+    let shards: Vec<WsShard> = shards.into_shards();
     let reason = reason.into_inner().unwrap_or_else(PoisonError::into_inner);
 
     let renumber_phase = PhaseGuard::enter(&budget.recorder, Phase::ExploreRenumber);

@@ -35,9 +35,8 @@ use super::fair::{fair_subcomponent, FairInfo, FairWitness};
 use super::{scc, Charge, LiveCheckpointer, Stop, Violation};
 use crate::budget::Meter;
 use crate::checkpoint::LiveSnapshot;
-use crate::explore::NUM_SHARDS;
 use crate::obs::{Event, RecorderHandle};
-use crate::sync::lock;
+use crate::sync::{lock, Striped, NUM_SHARDS};
 use crate::{Counterexample, StateGraph, System};
 use opentla_kernel::SccScratch;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -142,13 +141,11 @@ pub(super) fn reachable_from_par(
     let n = graph.len();
     let ok = |v: usize| node_ok.is_none_or(|f| f[v]);
     let shard_len = n.div_ceil(NUM_SHARDS).max(1);
-    let shards: Vec<Mutex<Vec<bool>>> = (0..NUM_SHARDS)
-        .map(|_| Mutex::new(vec![false; shard_len]))
-        .collect();
+    let shards: Striped<Vec<bool>> = Striped::new(|| vec![false; shard_len]);
     // First claim wins; later claims of the same node are no-ops, so
     // the fixed point is independent of worker interleaving.
     let claim = |v: usize| -> bool {
-        let mut flags = lock(&shards[v % NUM_SHARDS]);
+        let mut flags = shards.lock_shard(v % NUM_SHARDS);
         !std::mem::replace(&mut flags[v / NUM_SHARDS], true)
     };
     let mut frontier: Vec<usize> = starts
@@ -190,8 +187,7 @@ pub(super) fn reachable_from_par(
         frontier = next.into_inner().unwrap_or_else(|e| e.into_inner());
     }
     let mut out = vec![false; n];
-    for (i, shard) in shards.into_iter().enumerate() {
-        let flags = shard.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (i, flags) in shards.into_shards().into_iter().enumerate() {
         for (j, f) in flags.into_iter().enumerate() {
             let v = j * NUM_SHARDS + i;
             if f && v < n {

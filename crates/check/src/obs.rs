@@ -344,6 +344,18 @@ pub enum Event<'a> {
         /// Cumulative bytes spilled across all tiers so far.
         total_spilled_bytes: u64,
     },
+    /// A configured memory budget could not be honored by the selected
+    /// configuration (reduction-active or panic-injection runs are
+    /// pinned to the in-RAM level-synchronous engine), so the run
+    /// proceeds unbounded. An explicit `mem_budget_bytes` option
+    /// additionally fails the run with a precondition error; this
+    /// event alone marks an environment-derived budget being dropped.
+    BudgetIgnored {
+        /// The budget, in bytes, that is not being enforced.
+        budget_bytes: u64,
+        /// Why the selected configuration cannot honor it.
+        reason: &'a str,
+    },
     /// Segment-cache counters of a bounded-memory run (emitted once,
     /// before the run's final progress event).
     CacheStats {
@@ -383,6 +395,7 @@ impl Event<'_> {
             Event::Resume { .. } => "resume",
             Event::LivenessWorker { .. } => "liveness_worker",
             Event::Spill { .. } => "spill",
+            Event::BudgetIgnored { .. } => "budget_ignored",
             Event::CacheStats { .. } => "cache_stats",
             Event::RunEnd { .. } => "run_end",
         }
@@ -450,6 +463,7 @@ pub struct CountingRecorder {
     resumes: AtomicU64,
     liveness_workers: AtomicU64,
     spills: AtomicU64,
+    budget_ignored_events: AtomicU64,
     cache_stats_events: AtomicU64,
     /// Cumulative spilled bytes of the most recent spill event.
     spilled_bytes: AtomicU64,
@@ -494,6 +508,7 @@ impl CountingRecorder {
             resumes: AtomicU64::new(0),
             liveness_workers: AtomicU64::new(0),
             spills: AtomicU64::new(0),
+            budget_ignored_events: AtomicU64::new(0),
             cache_stats_events: AtomicU64::new(0),
             spilled_bytes: AtomicU64::new(0),
             red_ample_states: AtomicU64::new(0),
@@ -580,6 +595,11 @@ impl CountingRecorder {
     /// Spill events recorded.
     pub fn spills(&self) -> u64 {
         self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Budget-ignored diagnostics recorded.
+    pub fn budget_ignored_events(&self) -> u64 {
+        self.budget_ignored_events.load(Ordering::Relaxed)
     }
 
     /// Cache-stats events recorded.
@@ -687,6 +707,9 @@ impl Recorder for CountingRecorder {
                 self.spills.fetch_add(1, Ordering::Relaxed);
                 self.spilled_bytes
                     .store(*total_spilled_bytes, Ordering::Relaxed);
+            }
+            Event::BudgetIgnored { .. } => {
+                self.budget_ignored_events.fetch_add(1, Ordering::Relaxed);
             }
             Event::CacheStats { .. } => {
                 self.cache_stats_events.fetch_add(1, Ordering::Relaxed);
@@ -928,6 +951,15 @@ impl Recorder for JsonlRecorder {
                     ",\"tier\":{},\"seq\":{seq},\"records\":{records},\"bytes\":{bytes},\
                      \"total_spilled_bytes\":{total_spilled_bytes}",
                     json_str(tier)
+                ));
+            }
+            Event::BudgetIgnored {
+                budget_bytes,
+                reason,
+            } => {
+                body.push_str(&format!(
+                    ",\"budget_bytes\":{budget_bytes},\"reason\":{}",
+                    json_str(reason)
                 ));
             }
             Event::CacheStats {
@@ -1594,6 +1626,10 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 req_u64(&obj, "records", line)?;
                 req_u64(&obj, "bytes", line)?;
                 req_u64(&obj, "total_spilled_bytes", line)?;
+            }
+            "budget_ignored" => {
+                req_u64(&obj, "budget_bytes", line)?;
+                req_str(&obj, "reason", line)?;
             }
             "cache_stats" => {
                 req_u64(&obj, "hits", line)?;

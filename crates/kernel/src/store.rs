@@ -960,6 +960,83 @@ mod tests {
             let _ = fs::remove_dir_all(&dir);
         }
 
+        /// Model-based check of the LRU segment cache: replay every
+        /// read against a reference model tracking the resident set,
+        /// its LRU order, and the byte accounting. After each read the
+        /// real counters must equal the model's exactly — any
+        /// divergence in eviction order or victim choice shows up as a
+        /// hit/miss/eviction mismatch on a later read — and the
+        /// resident bytes must respect the budget except for the
+        /// deliberate keep-one-segment floor.
+        #[test]
+        fn prop_lru_cache_matches_model(
+            records in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..24), 30..120),
+            target in 64usize..256,
+            budget in 256usize..4096,
+            reads in proptest::collection::vec(any::<u64>(), 1..300),
+            seed in 0u64..u64::MAX,
+        ) {
+            let dir = std::env::temp_dir().join(format!(
+                "opentla-store-lru-{}-{seed}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            let mut store = SegmentStore::create(&dir, "lru", target, budget).unwrap();
+            for r in &records {
+                store.append(r).unwrap();
+            }
+            // The model's segment table, from the sealed metadata the
+            // store itself reports: resident cost mirrors
+            // `LoadedSegment::resident_bytes` (payload incl. length
+            // prefixes + one (usize, usize) offset pair per record).
+            let segs: Vec<(u64, u64, usize)> = store.sealed().iter()
+                .map(|m| (m.first, m.records,
+                    m.payload_len as usize
+                        + m.records as usize * std::mem::size_of::<(usize, usize)>()))
+                .collect();
+            let hot_first = store.hot_first();
+            let mut lru: Vec<usize> = Vec::new(); // front = coldest
+            let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+            let mut buf = Vec::new();
+            for ix in &reads {
+                let idx = ix % records.len() as u64;
+                store.read(idx, &mut buf).unwrap();
+                prop_assert_eq!(&buf, &records[idx as usize]);
+                if idx < hot_first {
+                    let seg = match segs.binary_search_by(|s| s.0.cmp(&idx)) {
+                        Ok(i) => i,
+                        Err(i) => i - 1,
+                    };
+                    if let Some(pos) = lru.iter().position(|&s| s == seg) {
+                        hits += 1;
+                        lru.remove(pos);
+                        lru.push(seg);
+                    } else {
+                        misses += 1;
+                        lru.push(seg);
+                        let mut resident: usize =
+                            lru.iter().map(|&s| segs[s].2).sum();
+                        while resident > budget && lru.len() > 1 {
+                            let victim = lru.remove(0);
+                            resident -= segs[victim].2;
+                            evictions += 1;
+                        }
+                    }
+                }
+                let stats = store.cache_stats();
+                let resident: usize = lru.iter().map(|&s| segs[s].2).sum();
+                prop_assert_eq!(stats.hits, hits);
+                prop_assert_eq!(stats.misses, misses);
+                prop_assert_eq!(stats.evictions, evictions);
+                prop_assert_eq!(stats.resident_bytes, resident as u64);
+                prop_assert!(
+                    resident <= budget || lru.len() == 1,
+                    "over budget ({resident} > {budget}) with {} resident segments",
+                    lru.len()
+                );
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+
         /// Sorted runs answer exactly the multiset of ids per
         /// fingerprint, and corrupting any byte yields a typed error.
         #[test]
